@@ -1,0 +1,97 @@
+"""Ablation: training methods under concept drift (the §2 regime).
+
+The paper motivates CPU training with on-device personalisation — models
+that keep learning from user data as it changes.  This ablation trains
+STANDARD, MC-approx and ALSH-approx *continually* on a drifting stream
+(class prototypes rotate each batch) and measures accuracy on the current
+distribution over time.
+
+Shape to expect: all methods track moderate drift (SGD's plasticity), but
+ALSH-approx carries an extra liability — its hash tables index stale
+weight columns, and its rebuild cadence becomes a *tracking* parameter,
+not just a cost knob.  The bench compares the paper's rebuild schedule
+against never rebuilding, under drift, where the gap is widest.
+"""
+
+import numpy as np
+
+from repro import MLP, make_trainer
+from repro.data.streams import DriftingStream
+from repro.harness.reporting import format_series
+from repro.lsh.rebuild import RebuildScheduler
+
+DIM = 32
+CLASSES = 4
+BATCHES = 240
+EVAL_EVERY = 60
+DRIFT = 0.02
+
+
+def _run(method, **kwargs):
+    stream = DriftingStream(
+        dim=DIM, n_classes=CLASSES, batch_size=20, drift_per_batch=DRIFT,
+        seed=0,
+    )
+    net = MLP([DIM, 48, CLASSES], seed=1)
+    trainer = make_trainer(method, net, seed=2, **kwargs)
+    checkpoints = []
+    for b in range(1, BATCHES + 1):
+        x, y = stream.next_batch()
+        trainer.train_batch(x, y)
+        if b % EVAL_EVERY == 0:
+            xe, ye = stream.eval_batch(250)
+            checkpoints.append(float((trainer.predict(xe) == ye).mean()))
+    return checkpoints
+
+
+def run_drift_study():
+    series = {
+        "standard (lr 5e-2)": _run("standard", lr=5e-2),
+        "mc (lr 5e-2)": _run("mc", lr=5e-2, k=10),
+        "alsh, paper rebuild": _run(
+            "alsh", lr=1e-2, optimizer="adam",
+            rebuild=RebuildScheduler(100, 100, 0),
+        ),
+        "alsh, never rebuild": _run(
+            "alsh", lr=1e-2, optimizer="adam",
+            rebuild=RebuildScheduler(10**9, 10**9, 0),
+        ),
+    }
+    return series
+
+
+def test_ablation_drift_stream(benchmark, capsys):
+    series = benchmark.pedantic(run_drift_study, iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "batches seen",
+                list(range(EVAL_EVERY, BATCHES + 1, EVAL_EVERY)),
+                series,
+                title="Continual training under concept drift "
+                f"(rotation {DRIFT} rad/batch; accuracy on the CURRENT "
+                "distribution)",
+            )
+        )
+        print(
+            "observed: every method tracks this drift rate (SGD's\n"
+            "plasticity), but both ALSH variants trail the exact/MC\n"
+            "trackers as drift accumulates — the hash machinery is a\n"
+            "liability, with or without rebuilds.  Rebuild cadence itself\n"
+            "is a wash at this scale: stale tables behave like a\n"
+            "dropout-ish random selector, which still trains.\n"
+            "(§2 personalisation regime; extension beyond the paper.)"
+        )
+    # Exact and MC continual training track the drift (stay well above
+    # chance at the final checkpoint).
+    chance = 1.0 / CLASSES
+    for label in ("standard (lr 5e-2)", "mc (lr 5e-2)"):
+        assert series[label][-1] > 1.5 * chance, label
+    # By the end, the best non-hash tracker beats the best ALSH variant —
+    # the hashing machinery is a liability under drift.
+    best_tracker = max(series["standard (lr 5e-2)"][-1], series["mc (lr 5e-2)"][-1])
+    best_alsh = max(
+        series["alsh, paper rebuild"][-1], series["alsh, never rebuild"][-1]
+    )
+    assert best_tracker > best_alsh

@@ -1,0 +1,119 @@
+"""Ablation: analytical FLOPs + the §11 energy model.
+
+Two extensions beyond the paper's measurements:
+
+1. closed-form per-step FLOP counts at the paper's architecture
+   (784–1000×3–10), showing the §9.3 batch-size effect *arithmetically*:
+   MC-approx does more FLOPs than STANDARD at batch 1 and fewer at 20;
+2. the paper's §11 future-work direction — energy estimates combining the
+   FLOP counts with simulated memory traffic.
+"""
+
+from repro.harness.energy import EnergyModel, estimate_training_energy
+from repro.harness.flops import flops_table, speedup_vs_standard
+from repro.harness.reporting import format_table
+
+PAPER_ARCH = [784, 1000, 1000, 1000, 10]
+ENERGY_ARCH = [256, 300, 300, 300, 10]  # scaled for the trace simulation
+SAMPLING = dict(keep_prob=0.05, active_frac=0.2, k=10)
+
+
+def run_analysis():
+    flops = {
+        batch: flops_table(PAPER_ARCH, batch=batch, **SAMPLING)
+        for batch in (1, 20)
+    }
+    energy = estimate_training_energy(
+        ENERGY_ARCH, batch=1, model=EnergyModel(), **SAMPLING
+    )
+    return flops, energy
+
+
+def test_ablation_energy_flops(benchmark, capsys):
+    flops, energy = benchmark.pedantic(run_analysis, iterations=1, rounds=1)
+    with capsys.disabled():
+        for batch, table in flops.items():
+            std = table["standard"].total
+            rows = [
+                [m, f.forward / 1e6, f.backward / 1e6, f.overhead / 1e6,
+                 std / f.total]
+                for m, f in table.items()
+            ]
+            print()
+            print(
+                format_table(
+                    ["method", "fwd (MFLOP)", "bwd (MFLOP)",
+                     "overhead (MFLOP)", "speedup vs standard"],
+                    rows,
+                    title=f"Analytical FLOPs, paper arch, batch {batch}",
+                    float_fmt="{:.2f}",
+                )
+            )
+        rows = [
+            [m, e.compute_j * 1e3, e.dram_j * 1e3, e.cache_j * 1e3,
+             e.total_j * 1e3]
+            for m, e in energy.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["method", "compute (mJ)", "DRAM (mJ)", "cache (mJ)",
+                 "total (mJ)"],
+                rows,
+                title="§11 energy model, per training step (batch 1)",
+                float_fmt="{:.4f}",
+            )
+        )
+    # §9.3 arithmetically: MC loses at batch 1, wins at batch 20.
+    assert speedup_vs_standard("mc", PAPER_ARCH, batch=1, **SAMPLING) < 1.0
+    assert speedup_vs_standard("mc", PAPER_ARCH, batch=20, **SAMPLING) > 1.3
+    # §10.1: backprop FLOPs exceed feedforward FLOPs for exact training.
+    std = flops[20]["standard"]
+    assert std.backward > std.forward
+    # Energy: dropout's compute collapses but memory traffic remains,
+    # so its total saving is much smaller than its 18x FLOP saving.
+    e = energy
+    compute_ratio = e["standard"].compute_j / e["dropout"].compute_j
+    total_ratio = e["standard"].total_j / e["dropout"].total_j
+    assert compute_ratio > 3 * total_ratio
+
+
+def run_roofline():
+    from repro.harness.roofline import RooflineMachine, roofline_table
+
+    return roofline_table(ENERGY_ARCH, batch=20, **SAMPLING), RooflineMachine()
+
+
+def test_ablation_roofline(benchmark, capsys):
+    table, machine = benchmark.pedantic(run_roofline, iterations=1, rounds=1)
+    with capsys.disabled():
+        std = table["standard"]
+        rows = [
+            [m, p.flops / 1e6, p.traffic_bytes / 1e6, p.arithmetic_intensity,
+             "compute" if p.compute_bound else "memory",
+             std.predicted_time_s / p.predicted_time_s]
+            for m, p in table.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["method", "FLOPs (M)", "DRAM traffic (MB)",
+                 "FLOPs/byte", "bound", "roofline speedup"],
+                rows,
+                title=f"Roofline (balance point "
+                f"{machine.balance_point:.1f} FLOPs/byte): why arithmetic "
+                "savings don't become wall time",
+                float_fmt="{:.2f}",
+            )
+        )
+    # Column-sliced dropout becomes memory-bound; its roofline speedup is
+    # far below its FLOP speedup (the §1 memory-wall argument).
+    drop = table["dropout"]
+    assert not drop.compute_bound
+    flop_speedup = table["standard"].flops / drop.flops
+    time_speedup = (
+        table["standard"].predicted_time_s / drop.predicted_time_s
+    )
+    assert flop_speedup > 2 * time_speedup
+    # Exact training stays compute-bound at this width.
+    assert table["standard"].compute_bound

@@ -1,0 +1,62 @@
+"""§10.1 ablation: approximating the feedforward pass vs backprop only.
+
+The published MC-approx applies approximation only during backpropagation;
+the paper (and Adelman et al.) report that approximating the feedforward
+pass fails in practice.  This ablation turns feedforward approximation on
+and shows the accuracy cost growing with depth — the same compounding
+mechanism Theorem 7.2 formalises for ALSH-approx.
+"""
+
+from conftest import train_and_eval
+
+from repro.harness.reporting import format_series
+
+DEPTHS = [1, 3, 5]
+EPOCHS = 3
+
+
+def run_ablation(mnist):
+    acc = {"backprop-only (published)": [], "forward+backprop (ablation)": []}
+    for depth in DEPTHS:
+        _, _, a_published = train_and_eval(
+            "mc", mnist, depth=depth, batch=20, lr=1e-2, epochs=EPOCHS, k=10,
+            node_frac=0.1, min_node_samples=8,
+        )
+        try:
+            _, _, a_forward = train_and_eval(
+                "mc", mnist, depth=depth, batch=20, lr=1e-2, epochs=EPOCHS,
+                k=10, node_frac=0.1, min_node_samples=8,
+                approximate_forward=True,
+            )
+        except ValueError:
+            # The forward-approximated variant can diverge outright — the
+            # §10.1 "failed in experiments" outcome. Score it as a failed
+            # training run.
+            a_forward = 0.0
+        acc["backprop-only (published)"].append(a_published)
+        acc["forward+backprop (ablation)"].append(a_forward)
+    return acc
+
+
+def test_ablation_forward_approximation(benchmark, capsys, mnist):
+    acc = benchmark.pedantic(run_ablation, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "hidden layers",
+                DEPTHS,
+                acc,
+                title="§10.1 ablation: MC-approx accuracy with and without "
+                "feedforward approximation",
+            )
+        )
+    published = acc["backprop-only (published)"]
+    forward = acc["forward+backprop (ablation)"]
+    # Averaged over depths, forward approximation must cost accuracy.
+    assert sum(published) / len(published) > sum(forward) / len(forward)
+    # And the gap at the deepest setting exceeds the gap at the shallowest
+    # (compounding) or the forward variant is already degenerate.
+    gap_shallow = published[0] - forward[0]
+    gap_deep = published[-1] - forward[-1]
+    assert gap_deep > gap_shallow - 0.05

@@ -1,0 +1,60 @@
+"""Ablation: does approximation noise compose with data noise?
+
+The taxonomy's premise (§4.2) is that SGD tolerates small amounts of
+noise, which is what licenses approximating the products at all.  This
+ablation asks whether MC-approx's estimator noise *adds to* label noise
+destructively: train STANDARD^M and MC-approx^M under increasing label
+corruption and compare their degradation curves.  If the premise holds,
+the two curves fall together and the gap stays bounded — the approximation
+noise rides inside SGD's existing tolerance rather than stacking on top.
+"""
+
+import numpy as np
+
+from conftest import train_and_eval
+
+from repro.data.corruptions import with_label_noise
+from repro.harness.reporting import format_series
+
+NOISE_LEVELS = [0.0, 0.2, 0.4]
+EPOCHS = 8
+
+
+def run_sweep(mnist):
+    acc = {"standard^M": [], "mc^M": []}
+    for noise in NOISE_LEVELS:
+        data = with_label_noise(mnist, noise, seed=7) if noise else mnist
+        for method, kwargs in (("standard", {}), ("mc", {"k": 10})):
+            _, _, a = train_and_eval(
+                method, data, depth=2, batch=20, lr=1e-2, epochs=EPOCHS,
+                **kwargs,
+            )
+            acc[f"{method}^M"].append(a)
+    return acc
+
+
+def test_ablation_label_noise_robustness(benchmark, capsys, mnist):
+    acc = benchmark.pedantic(run_sweep, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "label-noise fraction",
+                NOISE_LEVELS,
+                acc,
+                title="Robustness ablation: accuracy under training-label "
+                "corruption (2 hidden layers, minibatch)",
+            )
+        )
+        print(
+            "the curves falling together (bounded gap) supports the §4.2\n"
+            "premise: MC-approx's estimator noise does not stack with data\n"
+            "noise — it rides inside SGD's existing tolerance."
+        )
+    std = np.array(acc["standard^M"])
+    mc = np.array(acc["mc^M"])
+    # Label noise hurts both methods.
+    assert std[-1] < std[0]
+    assert mc[-1] < mc[0]
+    # The mc-vs-standard gap stays bounded at every noise level.
+    assert np.abs(std - mc).max() < 0.15

@@ -1,0 +1,93 @@
+"""§10.4: the optimal-choice decision tree, regenerated quantitatively.
+
+Combines three ingredients the paper uses to justify its closing decision
+tree:
+
+1. measured sequential per-epoch times (this repo's Table 3 bench),
+2. the multi-core projection for ALSH-approx (§9.2's parallel phases,
+   Amdahl-decomposed — the paper cites scaling to 2^6 processors),
+3. measured accuracy across depth (Figure 7's collapse).
+
+The output is one table per depth regime showing why each branch of the
+tree picks what it picks, plus the executable tree's answers.
+"""
+
+from conftest import train_and_eval
+
+from repro.harness.parallel import projected_time, speedup_curve
+from repro.harness.recommend import recommend_method
+from repro.harness.reporting import format_table
+
+DEPTHS = [2, 6]
+MAX_TRAIN = 250
+PROCESSORS = 64  # the paper's 2^6
+
+
+def run_analysis(mnist):
+    rows = []
+    for depth in DEPTHS:
+        _, h_std, acc_std = train_and_eval(
+            "standard", mnist, depth=depth, batch=1, lr=1e-3, epochs=1,
+            max_train=MAX_TRAIN,
+        )
+        _, h_alsh, acc_alsh = train_and_eval(
+            "alsh", mnist, depth=depth, batch=1, lr=1e-3, epochs=1,
+            max_train=MAX_TRAIN, optimizer="adam",
+        )
+        t_std = float(h_std.epoch_times().mean())
+        t_alsh_seq = float(h_alsh.epoch_times().mean())
+        t_alsh_par = projected_time(t_alsh_seq, PROCESSORS)
+        rows.append(
+            {
+                "depth": depth,
+                "acc_std": acc_std,
+                "acc_alsh": acc_alsh,
+                "t_std": t_std,
+                "t_alsh_seq": t_alsh_seq,
+                "t_alsh_par": t_alsh_par,
+            }
+        )
+    return rows
+
+
+def test_decision_tree(benchmark, capsys, mnist):
+    rows = benchmark.pedantic(run_analysis, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["depth", "std^S acc", "alsh acc", "std^S t (s)",
+                 "alsh seq t (s)", f"alsh @{PROCESSORS} cores (s)"],
+                [
+                    [r["depth"], r["acc_std"], r["acc_alsh"], r["t_std"],
+                     r["t_alsh_seq"], r["t_alsh_par"]]
+                    for r in rows
+                ],
+                title="§10.4 evidence: time and accuracy by depth "
+                "(stochastic regime)",
+            )
+        )
+        curve = speedup_curve([1, 4, 16, 64])
+        print(
+            "projected ALSH speedup: "
+            + ", ".join(f"{p} cores = {s:.1f}x" for p, s in curve.items())
+        )
+        for batch, depth, par in [(20, 3, False), (1, 2, True), (1, 6, True)]:
+            rec = recommend_method(batch, depth, par)
+            print(
+                f"recommend(batch={batch}, depth={depth}, parallel={par}) "
+                f"-> {rec.method}"
+            )
+    shallow, deep = rows
+    # Sequential ALSH is slower than standard at both depths (Table 3)...
+    assert shallow["t_alsh_seq"] > shallow["t_std"]
+    # ...but the 64-core projection brings shallow ALSH below its
+    # sequential time by a large factor — the §10.4 parallel branch.
+    assert shallow["t_alsh_par"] < shallow["t_alsh_seq"] / 4
+    # At depth 6 the accuracy collapse disqualifies ALSH regardless of
+    # parallel speed.
+    assert deep["acc_alsh"] < deep["acc_std"]
+    # The executable tree answers match the paper's branches.
+    assert recommend_method(20, 3).method == "mc"
+    assert recommend_method(1, 2, parallel_hardware=True).method == "alsh"
+    assert recommend_method(1, 6, parallel_hardware=True).method == "standard"

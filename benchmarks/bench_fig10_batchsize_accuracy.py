@@ -1,0 +1,66 @@
+"""Figure 10: MC-approx accuracy vs batch size.
+
+Paper shape: with the learning rate fixed, accuracy drops sharply for
+small batches (98 % → 64 %), which the paper attributes to *overfitting*
+in the stochastic regime (§9.3) — fixed by lowering the lr (Figure 6).
+
+DOCUMENTED DIVERGENCE: on this synthetic substrate the overfitting driver
+does not transfer — small batches make more updates per epoch and win at
+miniature scale, and the Eq. 7 estimator stays serviceable at batch 1
+(the batch-dimension product is exact there).  What *does* reproduce is
+Figure 11's time blow-up (see bench_fig11) and the §9.3 overhead findings.
+This bench therefore prints the measured sweep for the record and asserts
+the robust invariant: MC-approx tracks exact training at every batch size
+(bounded gap), i.e. the estimator itself never breaks with batch size —
+the batch-size penalty is a *time* penalty on CPU.
+"""
+
+import numpy as np
+
+from conftest import train_and_eval
+
+from repro.harness.reporting import format_series
+
+BATCHES = [1, 2, 5, 10, 20]
+EPOCHS = 3
+
+
+def run_fig10(mnist):
+    accs = {"mc (lr=1e-2)": [], "standard (lr=1e-2)": []}
+    for batch in BATCHES:
+        for label, method, kwargs in [
+            ("mc (lr=1e-2)", "mc", {"k": 10}),
+            ("standard (lr=1e-2)", "standard", {}),
+        ]:
+            _, _, acc = train_and_eval(
+                method, mnist, depth=3, batch=batch, lr=1e-2,
+                epochs=EPOCHS, max_train=400, **kwargs,
+            )
+            accs[label].append(acc)
+    return accs
+
+
+def test_fig10_batchsize_accuracy(benchmark, capsys, mnist):
+    accs = benchmark.pedantic(run_fig10, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "batch size",
+                BATCHES,
+                accs,
+                title="Figure 10 reproduction: accuracy vs batch size "
+                "(fixed lr, fixed epochs)",
+            )
+        )
+        print(
+            "note: the paper's small-batch accuracy drop is an overfitting\n"
+            "effect on real MNIST over 50 epochs; it does not manifest on\n"
+            "the synthetic substrate (see EXPERIMENTS.md). The robust\n"
+            "reproduction is the bounded mc-vs-standard gap below and the\n"
+            "Figure 11 time blow-up."
+        )
+    mc = np.array(accs["mc (lr=1e-2)"])
+    std = np.array(accs["standard (lr=1e-2)"])
+    # MC-approx must track the exact baseline at every batch size.
+    assert np.abs(mc - std).max() < 0.15

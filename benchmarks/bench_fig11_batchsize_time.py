@@ -1,0 +1,62 @@
+"""Figure 11: MC-approx training time vs batch size.
+
+Paper shape: per-epoch time blows up as the batch shrinks — the per-step
+probability machinery is amortised over fewer samples, and at batch 1
+MC-approx is slower than STANDARD (the §9.3 "swift drop in time
+efficiency").
+"""
+
+import numpy as np
+
+from conftest import train_and_eval
+
+from repro.harness.reporting import format_series
+
+BATCHES = [1, 2, 5, 10, 20]
+SUBSET = 300
+WIDTH = 256
+
+
+def run_fig11(mnist):
+    times = {"mc": [], "standard": []}
+    for batch in BATCHES:
+        for method, kwargs in [("mc", {"k": 10}), ("standard", {})]:
+            # Best of two runs per cell, so transient system load cannot
+            # invert the orderings the assertions check.
+            best = min(
+                float(
+                    train_and_eval(
+                        method, mnist, depth=3, width=WIDTH, batch=batch,
+                        lr=1e-3, epochs=1, max_train=SUBSET, **kwargs,
+                    )[1].epoch_times().mean()
+                )
+                for _ in range(2)
+            )
+            times[method].append(best)
+    return times
+
+
+def test_fig11_batchsize_time(benchmark, capsys, mnist):
+    times = benchmark.pedantic(run_fig11, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "batch size",
+                BATCHES,
+                times,
+                title=(
+                    "Figure 11 reproduction: time/epoch (s) vs batch size\n"
+                    f"({SUBSET} samples, 3 x {WIDTH} hidden)"
+                ),
+            )
+        )
+    mc = np.array(times["mc"])
+    std = np.array(times["standard"])
+    # Time per epoch explodes as the batch shrinks...
+    assert mc[0] > 2 * mc[-1]
+    # ...and at batch size 1 MC-approx is slower than standard.
+    assert mc[0] > std[0]
+    # The overhead ratio shrinks with batch size.
+    ratios = mc / std
+    assert ratios[0] > ratios[-1]

@@ -1,0 +1,66 @@
+"""Figure 12: MC-approx^S (stochastic) scalability failure with depth.
+
+Paper shape: in the stochastic setting the Eq. 7 probability estimates
+come from a single sample, so MC-approx^S degrades as layers are added —
+unlike MC-approx^M, which scales.  Time overhead also grows with depth.
+"""
+
+from conftest import train_and_eval
+
+from repro.harness.reporting import format_series
+
+DEPTHS = [1, 3, 5, 7]
+MAX_TRAIN = 250
+EPOCHS = 2
+
+
+def run_fig12(mnist):
+    acc = {"mc^S (lr=1e-4)": [], "mc^M (lr=1e-2)": []}
+    times = {"mc^S": [], "standard^S": []}
+    for depth in DEPTHS:
+        _, h_s, acc_s = train_and_eval(
+            "mc", mnist, depth=depth, batch=1, lr=1e-4, epochs=EPOCHS,
+            max_train=MAX_TRAIN, k=10,
+        )
+        _, _, acc_m = train_and_eval(
+            "mc", mnist, depth=depth, batch=20, lr=1e-2, epochs=EPOCHS, k=10,
+        )
+        _, h_std, _ = train_and_eval(
+            "standard", mnist, depth=depth, batch=1, lr=1e-4, epochs=EPOCHS,
+            max_train=MAX_TRAIN,
+        )
+        acc["mc^S (lr=1e-4)"].append(acc_s)
+        acc["mc^M (lr=1e-2)"].append(acc_m)
+        times["mc^S"].append(float(h_s.epoch_times().mean()))
+        times["standard^S"].append(float(h_std.epoch_times().mean()))
+    return acc, times
+
+
+def test_fig12_mc_stochastic_depth(benchmark, capsys, mnist):
+    acc, times = benchmark.pedantic(
+        run_fig12, args=(mnist,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "hidden layers",
+                DEPTHS,
+                acc,
+                title="Figure 12 reproduction: MC-approx accuracy vs depth "
+                "by regime",
+            )
+        )
+        print()
+        print(
+            format_series(
+                "hidden layers",
+                DEPTHS,
+                times,
+                title="Stochastic time/epoch (s) vs depth",
+            )
+        )
+    # MC^M must end at least as strong as MC^S at the deepest setting.
+    assert acc["mc^M (lr=1e-2)"][-1] >= acc["mc^S (lr=1e-4)"][-1] - 0.05
+    # MC^S carries a growing time overhead vs standard^S.
+    assert all(m > s for m, s in zip(times["mc^S"], times["standard^S"]))

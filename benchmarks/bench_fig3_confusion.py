@@ -1,0 +1,66 @@
+"""Figure 3: confusion matrices per method and depth.
+
+Renders the ASCII equivalents of the paper's Figure 3 panels: rows of the
+figure are methods, columns are depths.  The shape to look for is the
+ALSH-approx row — a clean diagonal at depth 1 degrading into the §10.3
+vertical-bar "label collapse" at depth 7, while MC-approx^M stays diagonal
+at every depth.
+"""
+
+import numpy as np
+
+from conftest import PAPER_SETTINGS, train_and_eval
+
+from repro.harness.reporting import render_confusion
+from repro.nn.metrics import confusion_matrix, prediction_entropy
+
+DEPTHS = [1, 3, 7]
+ROWS = ["standard^M", "alsh", "mc^M"]
+MAX_TRAIN_STOCHASTIC = 300
+
+
+def run_fig3(mnist):
+    results = {}
+    for row in ROWS:
+        method, batch, lr, kwargs = PAPER_SETTINGS[row]
+        for depth in DEPTHS:
+            trainer, _, acc = train_and_eval(
+                method,
+                mnist,
+                depth=depth,
+                batch=batch,
+                lr=lr,
+                max_train=MAX_TRAIN_STOCHASTIC if batch == 1 else None,
+                **kwargs,
+            )
+            preds = trainer.predict(mnist.x_test)
+            cm = confusion_matrix(mnist.y_test, preds, mnist.n_classes)
+            results[(row, depth)] = {
+                "confusion": cm,
+                "accuracy": acc,
+                "entropy": prediction_entropy(preds, mnist.n_classes),
+            }
+    return results
+
+
+def test_fig3_confusion_matrices(benchmark, capsys, mnist):
+    results = benchmark.pedantic(run_fig3, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        for (row, depth), r in results.items():
+            print()
+            print(
+                render_confusion(
+                    r["confusion"],
+                    title=f"Figure 3 panel — {row}, {depth} hidden layer(s): "
+                    f"acc={r['accuracy']:.3f}, pred-entropy={r['entropy']:.2f}",
+                )
+            )
+    # Shape: ALSH's diagonal mass decays with depth; MC's doesn't collapse.
+    def diag_mass(row, depth):
+        cm = results[(row, depth)]["confusion"]
+        return np.trace(cm) / cm.sum()
+
+    assert diag_mass("alsh", 1) > diag_mass("alsh", 7)
+    assert diag_mass("mc^M", 7) > diag_mass("alsh", 7)
+    # §10.3: deep ALSH prediction entropy below its shallow entropy.
+    assert results[("alsh", 7)]["entropy"] < results[("alsh", 1)]["entropy"] + 1e-9

@@ -1,0 +1,72 @@
+"""Figure 7: test accuracy vs number of hidden layers (1–7).
+
+Paper shape: ALSH-approx is competitive at 1 layer and collapses from
+~5 layers; MC-approx^M and STANDARD hold up with depth (the paper trains
+everything for 50 epochs; at miniature scale we give deeper networks
+proportionally more epochs so every configuration is trained to a
+comparable point).
+"""
+
+from conftest import train_and_eval
+
+from repro.harness.reporting import format_series
+
+DEPTHS = [1, 2, 3, 4, 5, 6, 7]
+ALSH_MAX_TRAIN = 400
+ALSH_EPOCHS = 3
+
+
+def _minibatch_epochs(depth: int) -> int:
+    return 4 + 3 * depth
+
+
+def run_fig7(mnist):
+    series = {"standard^M": [], "mc^M": [], "alsh": []}
+    for depth in DEPTHS:
+        for method, kwargs in (("standard", {}), ("mc", {"k": 10})):
+            _, _, acc = train_and_eval(
+                method,
+                mnist,
+                depth=depth,
+                batch=20,
+                lr=1e-2,
+                epochs=_minibatch_epochs(depth),
+                **kwargs,
+            )
+            series[f"{method}^M"].append(acc)
+        _, _, acc = train_and_eval(
+            "alsh",
+            mnist,
+            depth=depth,
+            batch=1,
+            lr=1e-3,
+            epochs=ALSH_EPOCHS,
+            max_train=ALSH_MAX_TRAIN,
+            optimizer="adam",
+        )
+        series["alsh"].append(acc)
+    return series
+
+
+def test_fig7_depth_accuracy(benchmark, capsys, mnist):
+    series = benchmark.pedantic(run_fig7, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "hidden layers",
+                DEPTHS,
+                series,
+                title="Figure 7 reproduction: accuracy vs depth",
+            )
+        )
+    alsh = series["alsh"]
+    mc = series["mc^M"]
+    # ALSH collapse: best shallow accuracy far above its deep floor.
+    assert max(alsh[:2]) > min(alsh[4:]) + 0.15
+    # MC-approx^M degrades gracefully: deep end stays within 60% of peak.
+    assert mc[-1] > 0.6 * max(mc)
+    # At depth >= 5, MC beats ALSH decisively.
+    assert mc[4] > alsh[4] + 0.1
+    # Relative collapse: ALSH loses a larger fraction of its peak than MC.
+    assert alsh[-1] / max(alsh) < mc[-1] / max(mc)

@@ -1,0 +1,67 @@
+"""Figure 8: training time vs number of hidden layers.
+
+Paper shape: ALSH-approx's per-epoch time grows fastest with depth
+(sequential table maintenance per layer); MC-approx^M beats STANDARD^M at
+realistic widths; all methods grow roughly linearly in depth.
+"""
+
+import numpy as np
+
+from conftest import train_and_eval
+
+from repro.harness.reporting import format_series
+
+DEPTHS = [1, 3, 5]
+SUBSET = 200
+TIMING_WIDTH = 1000  # paper width: where MC's sampled products pay off
+ALSH_WIDTH = 96  # ALSH is per-sample Python; keep its width tractable
+
+
+def run_fig8(mnist):
+    times = {"standard^M": [], "mc^M": [], "standard^S": [], "alsh": []}
+    for depth in DEPTHS:
+        for label, method, batch, width, lr, kwargs in [
+            ("standard^M", "standard", 20, TIMING_WIDTH, 1e-2, {}),
+            ("mc^M", "mc", 20, TIMING_WIDTH, 1e-2, {"k": 10}),
+            ("standard^S", "standard", 1, ALSH_WIDTH, 1e-3, {}),
+            ("alsh", "alsh", 1, ALSH_WIDTH, 1e-3, {"optimizer": "adam"}),
+        ]:
+            _, history, _ = train_and_eval(
+                method,
+                mnist,
+                depth=depth,
+                width=width,
+                batch=batch,
+                lr=lr,
+                epochs=1,
+                max_train=SUBSET,
+                **kwargs,
+            )
+            times[label].append(float(history.epoch_times().mean()))
+    return times
+
+
+def test_fig8_depth_runtime(benchmark, capsys, mnist):
+    times = benchmark.pedantic(run_fig8, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_series(
+                "hidden layers",
+                DEPTHS,
+                times,
+                title=(
+                    "Figure 8 reproduction: time/epoch (s) vs depth\n"
+                    f"(minibatch rows at width {TIMING_WIDTH}; stochastic "
+                    f"rows at width {ALSH_WIDTH}, {SUBSET} samples)"
+                ),
+            )
+        )
+    # Paper shapes:
+    # 1. ALSH-approx is slower than standard^S at every depth and its cost
+    #    grows with depth.
+    assert all(a > s for a, s in zip(times["alsh"], times["standard^S"]))
+    assert times["alsh"][-1] > times["alsh"][0]
+    # 2. MC-approx^M beats standard^M at the paper's width.
+    ratios = np.array(times["mc^M"]) / np.array(times["standard^M"])
+    assert ratios.mean() < 1.0

@@ -1,0 +1,50 @@
+"""Figure 9: speed–accuracy trade-off at 3 hidden layers.
+
+Paper shape: MC-approx^M sits on the Pareto frontier — better accuracy at
+lower time than the dropout family and ALSH-approx.
+"""
+
+from conftest import PAPER_SETTINGS, train_and_eval
+
+from repro.harness.reporting import format_table
+
+COLUMNS = ["standard^M", "mc^M", "dropout^S", "adaptive_dropout^S", "alsh"]
+MAX_TRAIN_STOCHASTIC = 250
+
+
+def run_fig9(mnist):
+    points = {}
+    for column in COLUMNS:
+        method, batch, lr, kwargs = PAPER_SETTINGS[column]
+        _, history, acc = train_and_eval(
+            method,
+            mnist,
+            depth=3,
+            batch=batch,
+            lr=lr,
+            max_train=MAX_TRAIN_STOCHASTIC if batch == 1 else None,
+            **kwargs,
+        )
+        points[column] = (float(history.epoch_times().mean()), acc)
+    return points
+
+
+def test_fig9_speed_accuracy_tradeoff(benchmark, capsys, mnist):
+    points = benchmark.pedantic(run_fig9, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["method", "time/epoch (s)", "accuracy"],
+                [[c, t, a] for c, (t, a) in points.items()],
+                title="Figure 9 reproduction: speed-accuracy scatter "
+                "(3 hidden layers)",
+            )
+        )
+    # MC-approx^M must Pareto-dominate ALSH-approx and plain dropout:
+    # at least as accurate AND faster.
+    t_mc, a_mc = points["mc^M"]
+    for dominated in ("alsh", "dropout^S"):
+        t_d, a_d = points[dominated]
+        assert a_mc >= a_d - 0.02
+        assert t_mc < t_d

@@ -1,0 +1,60 @@
+"""Table 3: per-epoch training time, stochastic setting (batch size 1).
+
+Paper shape: ALSH-approx is the slowest method sequentially (its speed in
+[50] comes from multi-core parallelism); MC-approx^S is slower than
+STANDARD^S (the probability machinery is overhead at batch size 1);
+backpropagation dominates the feedforward step (§10.1).
+"""
+
+from conftest import PAPER_SETTINGS, train_and_eval
+
+from repro.harness.reporting import format_table
+
+COLUMNS = ["standard^S", "dropout^S", "adaptive_dropout^S", "alsh", "mc^S"]
+SUBSET = 250  # fixed sample count so per-epoch times are comparable
+
+
+def run_table3(mnist):
+    rows = {}
+    for column in COLUMNS:
+        method, batch, lr, kwargs = PAPER_SETTINGS[column]
+        _, history, acc = train_and_eval(
+            method,
+            mnist,
+            depth=3,
+            batch=1,
+            lr=lr,
+            epochs=1,
+            max_train=SUBSET,
+            **kwargs,
+        )
+        rows[column] = {
+            "epoch_time": float(history.epoch_times().mean()),
+            "forward": float(history.forward_times().mean()),
+            "backward": float(history.backward_times().mean()),
+            "accuracy": acc,
+        }
+    return rows
+
+
+def test_table3_stochastic_time(benchmark, capsys, mnist):
+    rows = benchmark.pedantic(run_table3, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["method", "time/epoch (s)", "feedforward (s)",
+                 "backprop (s)", "accuracy"],
+                [
+                    [c, r["epoch_time"], r["forward"], r["backward"], r["accuracy"]]
+                    for c, r in rows.items()
+                ],
+                title=f"Table 3 reproduction: stochastic setting, "
+                f"{SUBSET} samples/epoch, 3 hidden layers",
+            )
+        )
+    # Paper shapes:
+    assert rows["alsh"]["epoch_time"] > rows["standard^S"]["epoch_time"]
+    assert rows["mc^S"]["epoch_time"] > rows["standard^S"]["epoch_time"]
+    # Backprop (incl. updates) costs more than the forward pass (§10.1).
+    assert rows["standard^S"]["backward"] > rows["standard^S"]["forward"]

@@ -1,0 +1,62 @@
+"""Table 4: per-epoch training time, minibatch setting (batch size 20).
+
+Paper shape: MC-approx^M significantly outperforms the other approaches at
+batch size 20 (the win grows with width — see bench_fig8 at width 512);
+mask-based Adaptive-Dropout carries overhead relative to STANDARD.
+"""
+
+from conftest import PAPER_SETTINGS, train_and_eval
+
+from repro.harness.reporting import format_table
+
+COLUMNS = ["standard^M", "dropout^S", "adaptive_dropout^S", "mc^M"]
+SUBSET = 400
+# MC-approx's sampled products only beat BLAS overhead at real widths;
+# the paper's width of 1000 is where the ordering is robust.
+TIMING_WIDTH = 1000
+
+
+def run_table4(mnist):
+    rows = {}
+    for column in COLUMNS:
+        method, _, lr, kwargs = PAPER_SETTINGS[column]
+        _, history, acc = train_and_eval(
+            method,
+            mnist,
+            depth=3,
+            width=TIMING_WIDTH,
+            batch=20,
+            lr=lr,
+            epochs=1,
+            max_train=SUBSET,
+            **kwargs,
+        )
+        rows[column.replace("^S", "^M")] = {
+            "epoch_time": float(history.epoch_times().mean()),
+            "forward": float(history.forward_times().mean()),
+            "backward": float(history.backward_times().mean()),
+            "accuracy": acc,
+        }
+    return rows
+
+
+def test_table4_minibatch_time(benchmark, capsys, mnist):
+    rows = benchmark.pedantic(run_table4, args=(mnist,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["method", "time/epoch (s)", "feedforward (s)",
+                 "backprop (s)", "accuracy"],
+                [
+                    [c, r["epoch_time"], r["forward"], r["backward"], r["accuracy"]]
+                    for c, r in rows.items()
+                ],
+                title=f"Table 4 reproduction: minibatch (20) setting, "
+                f"{SUBSET} samples/epoch, 3 x {TIMING_WIDTH} hidden",
+            )
+        )
+    # Paper shape: MC-approx^M beats standard^M per epoch at real widths.
+    assert rows["mc^M"]["epoch_time"] < rows["standard^M"]["epoch_time"]
+    # Its saving is in the backward phase (the approximated products).
+    assert rows["mc^M"]["backward"] < rows["standard^M"]["backward"]

@@ -1,0 +1,60 @@
+"""§7 theory table: error-to-estimate ratios for c = 5, k = 1..6.
+
+Paper values: 0.2, 0.44, 0.72, 1.07, 1.48, 1.98 — reproduced here exactly
+from the Theorem 7.2 closed form, cross-checked against the Lemma 7.1
+recursion simulator.
+"""
+
+import numpy as np
+
+from repro.harness.reporting import format_table
+from repro.theory.error_propagation import (
+    LinearErrorModel,
+    depth_at_error_ratio,
+    error_ratio_table,
+)
+
+PAPER_ROW = [0.2, 0.44, 0.72, 1.07, 1.48, 1.98]
+
+
+def compute_table():
+    closed = error_ratio_table(c=5.0, max_k=6)
+    # Cross-check with the recursion on a constructed network where the
+    # active sum is exactly 5x the inactive sum: keep 5 of 6 equal lumps.
+    n = 12
+    weights = [np.ones((n, n)) for _ in range(6)]
+    model = LinearErrorModel(
+        weights, selector=lambda layer, node, contrib: np.arange(10)
+    )
+    exact, estimates, _ = model.run(np.ones(n))
+    recursion = np.array(
+        [(exact[k][0] - estimates[k][0]) / estimates[k][0] for k in range(6)]
+    )
+    return closed, recursion
+
+
+def test_theory_error_table(benchmark, capsys):
+    closed, recursion = benchmark.pedantic(compute_table, iterations=1, rounds=1)
+    with capsys.disabled():
+        rows = [
+            ["paper (§7)"] + PAPER_ROW,
+            ["closed form"] + [round(v, 2) for v in closed],
+            ["Lemma 7.1 recursion"] + [round(v, 2) for v in recursion],
+        ]
+        print()
+        print(
+            format_table(
+                ["source"] + [f"k={k}" for k in range(1, 7)],
+                rows,
+                title="§7 error-to-estimate ratio, c = 5",
+                float_fmt="{:.2f}",
+            )
+        )
+        print(
+            f"error dominates estimate from depth "
+            f"{depth_at_error_ratio(5.0, 1.0)} (paper: 'larger than 3')"
+        )
+    # The closed form must match the paper's table to rounding.
+    np.testing.assert_allclose(closed, PAPER_ROW, atol=0.011)
+    # keep-10-of-12 equal lumps gives c = 5 exactly: recursion == closed form.
+    np.testing.assert_allclose(recursion, closed, rtol=1e-9)

@@ -1,0 +1,79 @@
+"""Shared fixtures and helpers for the table/figure benchmarks.
+
+Every bench regenerates one table or figure of the paper at laptop scale:
+the split sizes are scaled down (see DESIGN.md §1) but the architectures,
+hyperparameters and batching regimes follow §8.4, so the *shapes* of the
+results — who wins, where ALSH-approx collapses, where MC-approx's batch
+sensitivity bites — reproduce the paper's.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro import MLP, load_benchmark, make_trainer
+
+# Laptop-scale knobs shared by all benches.
+DATA_SCALE = 0.01
+WIDTH = 64
+EPOCHS = 2
+
+
+@pytest.fixture(scope="session")
+def mnist():
+    return load_benchmark("mnist", scale=DATA_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def all_benchmarks():
+    from repro.data.benchmarks import benchmark_names
+
+    return {
+        name: load_benchmark(name, scale=DATA_SCALE, seed=0)
+        for name in benchmark_names()
+    }
+
+
+def train_and_eval(
+    method,
+    data,
+    depth=3,
+    width=WIDTH,
+    epochs=EPOCHS,
+    batch=20,
+    lr=1e-2,
+    seed=0,
+    max_train=None,
+    track_val=False,
+    **kwargs,
+):
+    """Train one configuration; returns (trainer, history, test_accuracy)."""
+    x = data.x_train if max_train is None else data.x_train[:max_train]
+    y = data.y_train if max_train is None else data.y_train[:max_train]
+    net = MLP([data.input_dim] + [width] * depth + [data.n_classes], seed=seed)
+    trainer = make_trainer(method, net, lr=lr, seed=seed + 1, **kwargs)
+    history = trainer.fit(
+        x,
+        y,
+        epochs=epochs,
+        batch_size=batch,
+        x_val=data.x_val if track_val and data.n_val else None,
+        y_val=data.y_val if track_val and data.n_val else None,
+    )
+    acc = trainer.evaluate(data.x_test, data.y_test)
+    return trainer, history, acc
+
+
+# §8.4 settings per method: (batch regime, lr, trainer kwargs).
+PAPER_SETTINGS = {
+    "standard^S": ("standard", 1, 1e-3, {}),
+    "standard^M": ("standard", 20, 1e-2, {}),
+    "dropout^S": ("dropout", 1, 1e-2, {"keep_prob": 0.05}),
+    "adaptive_dropout^S": (
+        "adaptive_dropout", 1, 1e-2, {"target_keep": 0.05, "alpha": 2.0}
+    ),
+    "alsh": ("alsh", 1, 1e-3, {"optimizer": "adam"}),
+    "mc^M": ("mc", 20, 1e-2, {"k": 10}),
+    "mc^S": ("mc", 1, 1e-4, {"k": 10}),
+}

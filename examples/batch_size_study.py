@@ -1,0 +1,83 @@
+"""Batch-size sensitivity of MC-approx (paper §9.3, Figures 10–11).
+
+MC-approx estimates its sampling probabilities from the minibatch; at
+batch size 1 ("MC-approx^S") the estimate is a single point and the
+probability machinery becomes pure overhead.  This example sweeps the
+batch size and prints accuracy and per-epoch time for MC-approx vs
+standard training, plus the §9.3 learning-rate fix at batch size 1.
+
+Run:
+    python examples/batch_size_study.py
+"""
+
+from repro import MLP, load_benchmark, make_trainer
+from repro.harness.reporting import format_series
+
+BATCH_SIZES = [1, 2, 5, 10, 20, 50]
+WIDTH = 128
+DEPTH = 3
+EPOCHS = 3
+
+
+def run(method, data, batch, lr, **kwargs):
+    net = MLP([data.input_dim] + [WIDTH] * DEPTH + [data.n_classes], seed=1)
+    trainer = make_trainer(method, net, lr=lr, seed=2, **kwargs)
+    history = trainer.fit(
+        data.x_train, data.y_train, epochs=EPOCHS, batch_size=batch
+    )
+    acc = trainer.evaluate(data.x_test, data.y_test)
+    return acc, history.total_time / EPOCHS
+
+
+def main():
+    data = load_benchmark("mnist", scale=0.015, seed=0)
+    print(f"dataset: {data.describe()}\n")
+
+    acc = {"mc": [], "standard": []}
+    time_per_epoch = {"mc": [], "standard": []}
+    for batch in BATCH_SIZES:
+        lr = 1e-2 if batch > 1 else 1e-3
+        for method in ("mc", "standard"):
+            kwargs = {"k": 10} if method == "mc" else {}
+            a, t = run(method, data, batch, lr, **kwargs)
+            acc[method].append(a)
+            time_per_epoch[method].append(t)
+
+    print(
+        format_series(
+            "batch size",
+            BATCH_SIZES,
+            acc,
+            title="Accuracy vs batch size (cf. paper Figure 10)",
+        )
+    )
+    print(
+        "\n"
+        + format_series(
+            "batch size",
+            BATCH_SIZES,
+            time_per_epoch,
+            title="\nTime per epoch (s) vs batch size (cf. paper Figure 11)",
+        )
+    )
+
+    # The §9.3 learning-rate interaction: the paper lowers the stochastic
+    # MC-approx lr from 1e-3 to 1e-4 to fix overfitting on real MNIST.
+    acc_high, _ = run("mc", data, batch=1, lr=1e-3, k=10)
+    acc_low, _ = run("mc", data, batch=1, lr=1e-4, k=10)
+    print(
+        f"\nMC-approx^S learning-rate sensitivity (§9.3): "
+        f"lr=1e-3 -> {acc_high:.3f}, lr=1e-4 -> {acc_low:.3f}"
+    )
+    print(
+        "\nExpected shape: the per-epoch TIME blow-up at small batches is the"
+        "\nrobust reproduction (MC-approx is slower than standard at batch"
+        "\nsize 1 — the paper's Table 3/Figure 11).  The paper's small-batch"
+        "\nACCURACY drop is an overfitting effect on real MNIST over 50"
+        "\nepochs; on this synthetic substrate small batches simply make more"
+        "\nupdates per epoch (see EXPERIMENTS.md, Figure 10 divergence note)."
+    )
+
+
+if __name__ == "__main__":
+    main()

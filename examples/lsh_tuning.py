@@ -1,0 +1,92 @@
+"""Tuning the ALSH index: the (K, L) recall / candidate-size trade-off.
+
+ALSH-approx's hyperparameters K (bits per table) and L (tables) control a
+trade-off the paper states qualitatively ("K and L are tunable
+hyperparameters that affect the active set's size and quality", §5.2).
+This example quantifies it with the diagnostics in
+:mod:`repro.lsh.diagnostics`:
+
+* recall@k against exact MIPS (active-set *quality*);
+* mean candidate-set size (active-set *size* — the compute cost);
+* bucket occupancy statistics (index health);
+
+for a grid of (K, L), over both hash families, on weight-column/activation
+data drawn from a real trained layer.
+
+Run:
+    python examples/lsh_tuning.py
+"""
+
+import numpy as np
+
+from repro import MLP, load_benchmark, make_trainer
+from repro.harness.reporting import format_table
+from repro.lsh.diagnostics import bucket_stats, candidate_size_profile, recall_at_k
+from repro.lsh.mips import MIPSIndex
+
+GRID = [(4, 2), (4, 8), (6, 5), (8, 5), (8, 16)]  # (K, L); (6, 5) = paper
+FAMILIES = ["srp", "dwta"]
+TOP_K = 10
+
+
+def realistic_workload():
+    """Weight columns + activation queries from a briefly trained net."""
+    data = load_benchmark("mnist", scale=0.01, seed=0)
+    net = MLP([data.input_dim, 128, data.n_classes], seed=1)
+    make_trainer("standard", net, lr=1e-2, seed=2).fit(
+        data.x_train, data.y_train, epochs=2, batch_size=20
+    )
+    columns = net.layers[0].W.T  # 128 weight columns of dim 784
+    queries = data.x_test[:40]  # activation vectors (layer-0 inputs)
+    return columns, queries
+
+
+def main():
+    columns, queries = realistic_workload()
+    n_items = columns.shape[0]
+    print(f"indexing {n_items} weight columns of dim {columns.shape[1]}\n")
+
+    rows = []
+    for family in FAMILIES:
+        for k_bits, l_tables in GRID:
+            index = MIPSIndex(
+                columns.shape[1], n_bits=k_bits, n_tables=l_tables,
+                family=family, seed=3,
+            )
+            index.build(columns)
+            recall = recall_at_k(index, columns, queries, k=TOP_K)
+            sizes = candidate_size_profile(index, queries)
+            stats = bucket_stats(index.index)
+            label = f"{family} K={k_bits} L={l_tables}"
+            if (k_bits, l_tables) == (6, 5):
+                label += " (paper)"
+            rows.append(
+                [
+                    label,
+                    recall,
+                    float(sizes.mean()) / n_items,
+                    stats.occupancy,
+                    stats.gini,
+                ]
+            )
+
+    print(
+        format_table(
+            ["config", f"recall@{TOP_K}", "mean active frac",
+             "bucket occupancy", "load gini"],
+            rows,
+            title="ALSH index tuning on trained weight columns",
+        )
+    )
+    print(
+        "\nReading guide: more tables (L) buys recall by enlarging the\n"
+        "candidate set (active fraction ~ compute cost); more bits (K)\n"
+        "sharpens buckets, shrinking candidates but costing recall.  The\n"
+        "paper's K=6, L=5 sits mid-curve.  Note the whole curve is\n"
+        "selection *quality* — the depth collapse (Theorem 7.2) is\n"
+        "indifferent to it, as the selector ablation bench shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""The paper's unifying view (§4.2): everything is approximate matmul.
+
+Compares all the estimators in :mod:`repro.approx` on the same product —
+the Drineas with-replacement CR sampler (Eq. 6), the Adelman Bernoulli
+sampler (Eq. 7), their uniform-sampling counterparts and deterministic
+top-k — across a budget sweep, and checks the measured errors against the
+closed-form expected-error formulas.
+
+Run:
+    python examples/matrix_approximation.py
+"""
+
+import numpy as np
+
+from repro.approx import (
+    METHODS,
+    approx_matmul,
+    bernoulli_expected_error,
+    bernoulli_probabilities,
+    drineas_expected_error,
+    frobenius_error,
+)
+from repro.harness.reporting import format_series, format_table
+
+N_INNER = 400
+BUDGETS = [10, 25, 50, 100, 200]
+TRIALS = 30
+
+
+def make_problem(seed=0):
+    """A product with skewed importance — where smart sampling pays."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(40, N_INNER)) * np.logspace(0, 1.5, N_INNER)
+    b = rng.normal(size=(N_INNER, 30))
+    return a, b
+
+
+def budget_sweep(a, b):
+    exact = a @ b
+    series = {}
+    for method in METHODS:
+        if method == "exact":
+            continue
+        errors = []
+        for budget in BUDGETS:
+            trial_errors = [
+                frobenius_error(
+                    exact,
+                    approx_matmul(a, b, budget, method, np.random.default_rng(t)),
+                )
+                for t in range(TRIALS)
+            ]
+            errors.append(float(np.mean(trial_errors)))
+        series[method] = errors
+    print(
+        format_series(
+            "budget (of 400)",
+            BUDGETS,
+            series,
+            title="Mean relative Frobenius error vs sampling budget",
+        )
+    )
+
+
+def theory_check(a, b):
+    exact = a @ b
+    rows = []
+    for budget in (25, 100):
+        # Drineas closed form vs measurement.
+        predicted = drineas_expected_error(a, b, budget)
+        measured = np.mean(
+            [
+                np.linalg.norm(
+                    exact - approx_matmul(a, b, budget, "drineas",
+                                          np.random.default_rng(t)),
+                    "fro",
+                )
+                ** 2
+                for t in range(200)
+            ]
+        )
+        rows.append(["drineas", budget, predicted, float(measured)])
+        probs = bernoulli_probabilities(a, b, budget)
+        predicted = bernoulli_expected_error(a, b, probs)
+        measured = np.mean(
+            [
+                np.linalg.norm(
+                    exact - approx_matmul(a, b, budget, "bernoulli",
+                                          np.random.default_rng(t)),
+                    "fro",
+                )
+                ** 2
+                for t in range(200)
+            ]
+        )
+        rows.append(["bernoulli", budget, predicted, float(measured)])
+    print(
+        "\n"
+        + format_table(
+            ["estimator", "budget", "E||err||_F^2 (theory)", "measured"],
+            rows,
+            title="Closed-form expected error vs Monte-Carlo measurement",
+            float_fmt="{:.3e}",
+        )
+    )
+
+
+def main():
+    a, b = make_problem()
+    budget_sweep(a, b)
+    theory_check(a, b)
+    print(
+        "\nExpected shape: norm-proportional sampling (drineas/bernoulli) "
+        "beats\nuniform at every budget; deterministic top-k wins on this "
+        "skewed\nproblem but is biased; theory matches measurement."
+    )
+
+
+if __name__ == "__main__":
+    main()

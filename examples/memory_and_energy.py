@@ -1,0 +1,112 @@
+"""The §9.4 memory analysis and the §11 energy model, end to end.
+
+Prints, for each training method:
+
+1. the working-set breakdown at the paper's architecture (who allocates
+   what: ALSH's hash tables + Adam state, MC's batch activations, the
+   dropout family's masks);
+2. a trace-driven cache simulation reproducing the §9.4 relative
+   cache-miss ordering (Dropout/Adaptive-Dropout > MC-approx; ALSH worst);
+3. per-step FLOPs and the §11 energy estimate combining arithmetic with
+   memory traffic — showing how dropout's 18x FLOP saving evaporates
+   under the memory terms.
+
+Run:
+    python examples/memory_and_energy.py
+"""
+
+from repro.harness.energy import EnergyModel, estimate_training_energy
+from repro.harness.flops import flops_table
+from repro.harness.reporting import format_table
+from repro.memsim.profile import estimate_training_memory, profile_methods
+
+PAPER_ARCH = [784, 1000, 1000, 1000, 10]
+SIM_ARCH = [256, 300, 300, 300, 10]  # scaled for trace-simulation speed
+METHODS = ["standard", "dropout", "adaptive_dropout", "mc", "alsh"]
+SAMPLING = dict(keep_prob=0.05, active_frac=0.2, k=10)
+
+
+def working_sets():
+    mb = 1024 * 1024
+    rows = []
+    for method in METHODS:
+        b = estimate_training_memory(
+            method, PAPER_ARCH,
+            batch=20 if method == "mc" else 1,
+            optimizer="adam" if method == "alsh" else "sgd",
+        )
+        rows.append(
+            [method, b["weights"] / mb, b.get("hash_tables", 0) / mb,
+             b.get("masks", 0) / mb, b["optimizer_state"] / mb, b["total"] / mb]
+        )
+    print(
+        format_table(
+            ["method", "weights (MB)", "tables (MB)", "masks (MB)",
+             "opt state (MB)", "total (MB)"],
+            rows,
+            title="Working sets at the paper architecture (784-1000x3-10)",
+            float_fmt="{:.2f}",
+        )
+    )
+
+
+def cache_behaviour():
+    report = profile_methods(
+        SIM_ARCH, batch=1, steps=2, hierarchy_scale=1 / 32, seed=0
+    )
+    mc = report["mc"]["L1"]["misses"]
+    rows = [
+        [m, report[m]["L1"]["misses"], report[m]["L1"]["misses"] / mc]
+        for m in METHODS
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["method", "L1 misses / 2 steps", "vs MC-approx"],
+            rows,
+            title="Cache simulation (§9.4: Dropout +24%, Adaptive +27% in "
+            "the paper)",
+            float_fmt="{:.2f}",
+        )
+    )
+
+
+def energy():
+    table = flops_table(PAPER_ARCH, batch=1, **SAMPLING)
+    estimates = estimate_training_energy(
+        SIM_ARCH, batch=1, model=EnergyModel(), **SAMPLING
+    )
+    rows = []
+    for method in METHODS:
+        f = table[method]
+        e = estimates[method]
+        rows.append(
+            [method, f.total / 1e6, e.compute_j * 1e3, e.dram_j * 1e3,
+             e.total_j * 1e3]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["method", "FLOPs/step (M, paper arch)", "compute (mJ)",
+             "DRAM (mJ)", "total energy (mJ)"],
+            rows,
+            title="§11 energy model (per step; ratios are the output, not "
+            "the absolute numbers)",
+            float_fmt="{:.3f}",
+        )
+    )
+
+
+def main():
+    working_sets()
+    cache_behaviour()
+    energy()
+    print(
+        "\nTakeaways (cf. §9.4/§11): ALSH pays for tables and Adam state;\n"
+        "the dropout family's mask passes cost cache misses, not FLOPs;\n"
+        "MC-approx's arithmetic saving survives the memory terms."
+    )
+
+
+if __name__ == "__main__":
+    main()

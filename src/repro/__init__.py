@@ -1,0 +1,56 @@
+"""repro — sampling-based techniques for training multilayer perceptrons.
+
+A from-scratch reproduction of "Evaluating the Feasibility of
+Sampling-Based Techniques for Training Multilayer Perceptrons"
+(Ebrahimi, Advani, Asudeh — EDBT 2025): a pure-NumPy MLP training stack,
+an LSH/ALSH maximum-inner-product engine, Monte-Carlo matrix-product
+estimators, the five training methods the paper evaluates, the §7 error-
+propagation theory, a cache/memory simulator for the §9.4 analysis, and a
+benchmark harness regenerating every table and figure.
+
+Quick start::
+
+    from repro import load_benchmark, MLP, make_trainer
+
+    data = load_benchmark("mnist", scale=0.01)
+    net = MLP([data.input_dim, 100, 100, 100, data.n_classes], seed=0)
+    trainer = make_trainer("mc", net, lr=1e-3, k=10)
+    trainer.fit(data.x_train, data.y_train, epochs=3, batch_size=20)
+    print("accuracy:", trainer.evaluate(data.x_test, data.y_test))
+"""
+
+from .core import (
+    AdaptiveDropoutTrainer,
+    ALSHApproxTrainer,
+    DropoutTrainer,
+    History,
+    MCApproxTrainer,
+    StandardTrainer,
+    Trainer,
+    make_trainer,
+    trainer_names,
+)
+from .data import Dataset, load_benchmark
+from .harness import ExperimentConfig, ExperimentResult, run_experiment
+from .nn import MLP
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MLP",
+    "Dataset",
+    "load_benchmark",
+    "Trainer",
+    "History",
+    "StandardTrainer",
+    "DropoutTrainer",
+    "AdaptiveDropoutTrainer",
+    "ALSHApproxTrainer",
+    "MCApproxTrainer",
+    "make_trainer",
+    "trainer_names",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "__version__",
+]

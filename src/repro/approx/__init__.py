@@ -1,0 +1,46 @@
+"""Randomized matrix-product approximation library.
+
+Implements both sampling families the paper unifies (§4.2): the
+Drineas–Kannan–Mahoney with-replacement CR estimator (§6.1, Eq. 6) and the
+Adelman et al. Bernoulli column–row estimator that MC-approx trains with
+(§6.2, Eq. 7), plus uniform and deterministic top-k baselines and
+closed-form expected-error formulas for both randomized schemes.
+"""
+
+from .baselines import topk_multiply, uniform_bernoulli_multiply, uniform_multiply
+from .bernoulli import (
+    bernoulli_multiply,
+    bernoulli_probabilities,
+    bernoulli_sample,
+)
+from .bernoulli import expected_error_frobenius as bernoulli_expected_error
+from .drineas import cr_decomposition, cr_multiply, optimal_probabilities
+from .drineas import expected_error_frobenius as drineas_expected_error
+from .interface import METHODS, approx_matmul, frobenius_error
+from .sampling import (
+    clipped_probabilities,
+    importance_scores,
+    normalize_probabilities,
+    sample_with_replacement,
+)
+
+__all__ = [
+    "importance_scores",
+    "normalize_probabilities",
+    "clipped_probabilities",
+    "sample_with_replacement",
+    "optimal_probabilities",
+    "cr_decomposition",
+    "cr_multiply",
+    "drineas_expected_error",
+    "bernoulli_probabilities",
+    "bernoulli_sample",
+    "bernoulli_multiply",
+    "bernoulli_expected_error",
+    "uniform_multiply",
+    "uniform_bernoulli_multiply",
+    "topk_multiply",
+    "approx_matmul",
+    "frobenius_error",
+    "METHODS",
+]

@@ -1,0 +1,89 @@
+"""Adelman et al. Bernoulli column–row sampling (paper §6.2, Eq. 7).
+
+Each index i of the inner dimension is kept independently with probability
+``p_i = min{k·‖A·i‖‖B i·‖/Σ, 1}`` (waterfilled so Σp_i = k) and the kept
+outer products are rescaled by ``1/p_i``:
+
+    AB ≈ Σ_i (Z_i / p_i) A·i B i·,   Z_i ~ Bernoulli(p_i).
+
+The estimator is unbiased and, unlike the with-replacement scheme, never
+duplicates an index, which is what makes it usable *inside* a training step:
+the kept index set directly selects rows of W (sampling from the previous
+layer, §6).  This is the machinery MC-approx builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .sampling import clipped_probabilities, importance_scores
+
+__all__ = [
+    "bernoulli_probabilities",
+    "bernoulli_sample",
+    "bernoulli_multiply",
+    "expected_error_frobenius",
+]
+
+
+def bernoulli_probabilities(a: np.ndarray, b: np.ndarray, k: int) -> np.ndarray:
+    """Eq. 7 keep-probabilities over the inner dimension (Σ p_i = k)."""
+    return clipped_probabilities(importance_scores(a, b), k)
+
+
+def bernoulli_sample(
+    probs: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw the kept index set; returns (indices, 1/p_i scales)."""
+    probs = np.asarray(probs, dtype=float)
+    if ((probs < 0) | (probs > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    keep = rng.random(probs.size) < probs
+    idx = np.nonzero(keep)[0]
+    return idx, 1.0 / probs[idx]
+
+
+def bernoulli_multiply(
+    a: np.ndarray,
+    b: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    probs: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Unbiased estimate of ``A @ B`` keeping ≈k column–row pairs.
+
+    An empty draw (possible when k is tiny) returns the all-zero matrix,
+    which is still a valid unbiased sample of the estimator.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
+    if probs is None:
+        probs = bernoulli_probabilities(a, b, k)
+    idx, scales = bernoulli_sample(np.asarray(probs, dtype=float), rng)
+    if idx.size == 0:
+        return np.zeros((a.shape[0], b.shape[1]))
+    return (a[:, idx] * scales) @ b[idx, :]
+
+
+def expected_error_frobenius(
+    a: np.ndarray, b: np.ndarray, probs: np.ndarray
+) -> float:
+    """Closed-form E‖AB − ÂB‖_F² = Σ_i (1−p_i)/p_i ‖A·i‖²‖B i·‖².
+
+    Indices with p_i = 0 contribute infinity unless their score is zero
+    (they are then never needed).
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    probs = np.asarray(probs, dtype=float)
+    scores = importance_scores(a, b)
+    mask = scores > 0
+    if (probs[mask] == 0).any():
+        return float("inf")
+    p = probs[mask]
+    s = scores[mask]
+    return float((((1.0 - p) / p) * s * s).sum())

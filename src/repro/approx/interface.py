@@ -1,0 +1,69 @@
+"""Uniform front door over all matrix-product estimators.
+
+The paper's central observation (§4.2) is that the two research directions
+— sampling nodes of the current layer vs the previous layer — are both
+instances of approximating ``A @ B`` by sub-sampling the inner dimension.
+:func:`approx_matmul` exposes every estimator in this package behind one
+signature so the benches can sweep methods with a single loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .baselines import topk_multiply, uniform_bernoulli_multiply, uniform_multiply
+from .bernoulli import bernoulli_multiply
+from .drineas import cr_multiply
+
+__all__ = ["approx_matmul", "frobenius_error", "METHODS"]
+
+METHODS = ("exact", "drineas", "bernoulli", "uniform", "uniform_bernoulli", "topk")
+
+
+def approx_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    budget: int,
+    method: str = "bernoulli",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Estimate ``A @ B`` using ``budget`` inner-dimension samples.
+
+    ``method`` is one of :data:`METHODS`; ``"exact"`` ignores the budget and
+    returns the true product (the STANDARD reference point).
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; available: {METHODS}")
+    if method == "exact":
+        return np.atleast_2d(np.asarray(a, dtype=float)) @ np.atleast_2d(
+            np.asarray(b, dtype=float)
+        )
+    if method == "topk":
+        return topk_multiply(a, b, budget)
+    if rng is None:
+        rng = np.random.default_rng()
+    if method == "drineas":
+        return cr_multiply(a, b, budget, rng)
+    if method == "bernoulli":
+        return bernoulli_multiply(a, b, budget, rng)
+    if method == "uniform":
+        return uniform_multiply(a, b, budget, rng)
+    return uniform_bernoulli_multiply(a, b, budget, rng)
+
+
+def frobenius_error(exact: np.ndarray, estimate: np.ndarray) -> float:
+    """Relative Frobenius error ‖exact − estimate‖_F / ‖exact‖_F.
+
+    A zero exact product with a nonzero estimate reports infinity.
+    """
+    exact = np.atleast_2d(np.asarray(exact, dtype=float))
+    estimate = np.atleast_2d(np.asarray(estimate, dtype=float))
+    if exact.shape != estimate.shape:
+        raise ValueError(f"shape mismatch: {exact.shape} vs {estimate.shape}")
+    denom = float(np.linalg.norm(exact, "fro"))
+    num = float(np.linalg.norm(exact - estimate, "fro"))
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / denom

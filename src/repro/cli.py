@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``
+    Train one configuration and print the result (optionally append it to
+    a JSON-lines result store and/or save the trained model).
+``compare``
+    Train several methods on one dataset and print a Table 2-style
+    comparison.
+``theory``
+    Print the §7 error-propagation table for a given c.
+``flops``
+    Print the analytical per-step FLOP table for an architecture.
+``datasets``
+    List the available benchmarks and their paper split sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .data.benchmarks import BENCHMARKS, benchmark_names
+from .harness.config import ExperimentConfig
+from .harness.experiment import run_experiment
+from .harness.flops import flops_table
+from .harness.reporting import format_table, render_confusion
+from .theory.error_propagation import depth_at_error_ratio, error_ratio_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sampling-based MLP training (EDBT 2025 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="train one configuration")
+    run.add_argument("--method", default="standard")
+    run.add_argument("--dataset", default="mnist", choices=benchmark_names())
+    run.add_argument("--data-scale", type=float, default=0.02)
+    run.add_argument("--hidden-layers", type=int, default=3)
+    run.add_argument("--hidden-width", type=int, default=100)
+    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument("--batch-size", type=int, default=20)
+    run.add_argument("--lr", type=float, default=1e-3)
+    run.add_argument("--optimizer", default="sgd")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--paper-defaults", action="store_true",
+                     help="apply the §8.4 method defaults before overrides")
+    run.add_argument("--store", help="append the result to this JSONL file")
+    run.add_argument("--save-model", help="save the trained weights (.npz)")
+    run.add_argument("--confusion", action="store_true",
+                     help="print the confusion matrix")
+
+    compare = sub.add_parser("compare", help="compare methods on a dataset")
+    compare.add_argument("--dataset", default="mnist", choices=benchmark_names())
+    compare.add_argument("--data-scale", type=float, default=0.02)
+    compare.add_argument("--hidden-layers", type=int, default=3)
+    compare.add_argument("--hidden-width", type=int, default=100)
+    compare.add_argument("--epochs", type=int, default=3)
+    compare.add_argument(
+        "--methods",
+        nargs="+",
+        default=["standard", "dropout", "adaptive_dropout", "alsh", "mc"],
+    )
+    compare.add_argument("--seed", type=int, default=0)
+
+    theory = sub.add_parser("theory", help="print the §7 error table")
+    theory.add_argument("--c", type=float, default=5.0,
+                        help="active-to-inactive weighted-sum ratio")
+    theory.add_argument("--max-k", type=int, default=6)
+
+    flops = sub.add_parser("flops", help="analytical per-step FLOP table")
+    flops.add_argument("--arch", type=int, nargs="+",
+                       default=[784, 1000, 1000, 1000, 10])
+    flops.add_argument("--batch", type=int, default=20)
+
+    sub.add_parser("datasets", help="list the paper benchmarks")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    if args.paper_defaults:
+        cfg = ExperimentConfig.paper_default(
+            args.method,
+            batch_size=args.batch_size,
+            dataset=args.dataset,
+            data_scale=args.data_scale,
+            hidden_layers=args.hidden_layers,
+            hidden_width=args.hidden_width,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+    else:
+        cfg = ExperimentConfig(
+            method=args.method,
+            dataset=args.dataset,
+            data_scale=args.data_scale,
+            hidden_layers=args.hidden_layers,
+            hidden_width=args.hidden_width,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            optimizer=args.optimizer,
+            seed=args.seed,
+        )
+    result = run_experiment(cfg)
+    print(result.summary())
+    if args.confusion:
+        print(render_confusion(result.confusion))
+    if args.store:
+        from .harness.results import ResultStore
+
+        ResultStore(args.store).append(result)
+        print(f"appended to {args.store}")
+    if args.save_model:
+        # run_experiment does not expose the trainer, so rebuild and refit
+        # deterministically (same seeds) to capture the trained weights.
+        from .core.registry import make_trainer
+        from .data.benchmarks import load_benchmark
+        from .harness.experiment import build_network
+        from .nn.serialize import save_mlp
+
+        data = load_benchmark(cfg.dataset, scale=cfg.data_scale, seed=cfg.seed)
+        net = build_network(cfg, data)
+        trainer = make_trainer(
+            cfg.method, net, lr=cfg.lr, optimizer=cfg.optimizer,
+            seed=cfg.seed, **cfg.method_kwargs,
+        )
+        trainer.fit(data.x_train, data.y_train, epochs=cfg.epochs,
+                    batch_size=cfg.batch_size)
+        path = save_mlp(net, args.save_model)
+        print(f"model saved to {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .data.benchmarks import load_benchmark
+
+    data = load_benchmark(args.dataset, scale=args.data_scale, seed=args.seed)
+    rows = []
+    for method in args.methods:
+        cfg = ExperimentConfig.paper_default(
+            method,
+            batch_size=1 if method in ("alsh",) else 20,
+            hidden_layers=args.hidden_layers,
+            hidden_width=args.hidden_width,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+        result = run_experiment(cfg, dataset=data)
+        rows.append(
+            [cfg.label(), result.test_accuracy, result.time_per_epoch,
+             result.pred_entropy]
+        )
+    print(
+        format_table(
+            ["method", "accuracy", "time/epoch (s)", "pred entropy"],
+            rows,
+            title=f"{args.dataset}, {args.hidden_layers} hidden layers",
+        )
+    )
+    return 0
+
+
+def _cmd_theory(args) -> int:
+    table = error_ratio_table(c=args.c, max_k=args.max_k)
+    print(
+        format_table(
+            ["k"] + [str(k) for k in range(1, args.max_k + 1)],
+            [["error/estimate"] + [f"{v:.2f}" for v in table]],
+            title=f"Theorem 7.2 error-to-estimate ratio, c = {args.c}",
+        )
+    )
+    print(
+        f"error dominates the estimate from depth "
+        f"{depth_at_error_ratio(args.c, 1.0)}"
+    )
+    return 0
+
+
+def _cmd_flops(args) -> int:
+    table = flops_table(args.arch, batch=args.batch, keep_prob=0.05,
+                        active_frac=0.2, k=10)
+    std = table["standard"].total
+    rows = [
+        [name, f.forward / 1e6, f.backward / 1e6, f.overhead / 1e6,
+         f.total / 1e6, std / f.total]
+        for name, f in table.items()
+    ]
+    print(
+        format_table(
+            ["method", "fwd (MFLOP)", "bwd (MFLOP)", "overhead (MFLOP)",
+             "total (MFLOP)", "speedup vs standard"],
+            rows,
+            title=f"arch {args.arch}, batch {args.batch}",
+            float_fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    rows = [
+        [name, "x".join(map(str, spec.shape)), spec.n_classes,
+         spec.n_train, spec.n_test, spec.n_val]
+        for name, spec in BENCHMARKS.items()
+    ]
+    print(
+        format_table(
+            ["name", "shape", "classes", "train", "test", "val"],
+            rows,
+            title="Paper benchmarks (§8.2) — synthetic equivalents",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "theory": _cmd_theory,
+        "flops": _cmd_flops,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

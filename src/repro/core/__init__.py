@@ -1,0 +1,31 @@
+"""The five training methods evaluated by the paper (§8.3).
+
+STANDARD (exact baseline), DROPOUT and ADAPTIVE-DROPOUT (sampling from the
+current layer, §5), ALSH-APPROX (hashing-based current-layer sampling,
+§5.2) and MC-APPROX (Monte-Carlo previous-layer sampling, §6.2), all behind
+the common :class:`~repro.core.base.Trainer` interface.
+"""
+
+from .adaptive_dropout import AdaptiveDropoutTrainer
+from .alsh_approx import ALSHApproxTrainer
+from .base import EpochStats, History, Trainer
+from .dropout import DropoutTrainer
+from .mc_approx import MCApproxTrainer
+from .registry import TRAINERS, make_trainer, trainer_names
+from .standard import StandardTrainer
+from .topk_approx import TopKApproxTrainer
+
+__all__ = [
+    "Trainer",
+    "History",
+    "EpochStats",
+    "StandardTrainer",
+    "DropoutTrainer",
+    "AdaptiveDropoutTrainer",
+    "ALSHApproxTrainer",
+    "MCApproxTrainer",
+    "TopKApproxTrainer",
+    "TRAINERS",
+    "trainer_names",
+    "make_trainer",
+]

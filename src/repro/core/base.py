@@ -1,0 +1,249 @@
+"""Common trainer machinery shared by all five training methods (§8.3).
+
+Every method — STANDARD, DROPOUT, ADAPTIVE-DROPOUT, ALSH-APPROX and
+MC-APPROX — subclasses :class:`Trainer` and implements ``train_batch``.
+The base class owns the epoch loop, loss-head plumbing, per-phase timing
+(the paper's Tables 3–4 report per-epoch wall time, and §10.1 compares
+feedforward vs backpropagation cost), validation tracking and the history
+object the benches consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.loader import BatchLoader
+from ..nn.losses import NLLLoss
+from ..nn.metrics import accuracy
+from ..nn.network import MLP
+from ..nn.optim import Optimizer, get_optimizer
+
+__all__ = ["EpochStats", "History", "Trainer"]
+
+
+@dataclass
+class EpochStats:
+    """Bookkeeping for one training epoch."""
+
+    epoch: int
+    loss: float
+    time: float
+    forward_time: float
+    backward_time: float
+    val_accuracy: Optional[float] = None
+
+
+@dataclass
+class History:
+    """Per-epoch training record returned by :meth:`Trainer.fit`."""
+
+    method: str
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    def losses(self) -> np.ndarray:
+        """Mean training loss per epoch."""
+        return np.array([e.loss for e in self.epochs])
+
+    def epoch_times(self) -> np.ndarray:
+        """Wall-clock seconds per epoch."""
+        return np.array([e.time for e in self.epochs])
+
+    def forward_times(self) -> np.ndarray:
+        """Seconds spent in the feedforward phase per epoch."""
+        return np.array([e.forward_time for e in self.epochs])
+
+    def backward_times(self) -> np.ndarray:
+        """Seconds spent in backpropagation (incl. updates) per epoch."""
+        return np.array([e.backward_time for e in self.epochs])
+
+    def val_accuracies(self) -> np.ndarray:
+        """Validation accuracy per epoch (NaN where not evaluated)."""
+        return np.array(
+            [np.nan if e.val_accuracy is None else e.val_accuracy for e in self.epochs]
+        )
+
+    @property
+    def total_time(self) -> float:
+        """Total training wall time across epochs."""
+        return float(sum(e.time for e in self.epochs))
+
+
+class Trainer:
+    """Base class: owns the network, optimiser, loss head and epoch loop.
+
+    Subclasses implement :meth:`train_batch`, timing their own phases via
+    :meth:`_time_forward` / :meth:`_time_backward` context helpers (simple
+    accumulators — NumPy releases the GIL rarely enough here that
+    ``perf_counter`` deltas are honest).
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.nn.network.MLP` to train (modified in place).
+    lr:
+        Learning rate (paper: 1e-3, or 1e-4 for MC-approx stochastic).
+    optimizer:
+        Name or instance (paper: SGD for most methods, Adam for ALSH).
+    seed:
+        Seed for the trainer's own sampling randomness.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        network: MLP,
+        lr: float = 1e-3,
+        optimizer="sgd",
+        seed: Optional[int] = None,
+    ):
+        self.net = network
+        self.optimizer: Optimizer = get_optimizer(optimizer, lr)
+        self.loss_fn = NLLLoss()
+        self.rng = np.random.default_rng(seed)
+        self._t_fwd = 0.0
+        self._t_bwd = 0.0
+
+    # ------------------------------------------------------------------
+    # phase timing helpers
+    # ------------------------------------------------------------------
+    class _PhaseTimer:
+        __slots__ = ("_trainer", "_attr", "_start")
+
+        def __init__(self, trainer: "Trainer", attr: str):
+            self._trainer = trainer
+            self._attr = attr
+
+        def __enter__(self):
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            elapsed = time.perf_counter() - self._start
+            setattr(
+                self._trainer,
+                self._attr,
+                getattr(self._trainer, self._attr) + elapsed,
+            )
+            return False
+
+    def _time_forward(self) -> "_PhaseTimer":
+        """Context manager accumulating into the forward-phase clock."""
+        return Trainer._PhaseTimer(self, "_t_fwd")
+
+    def _time_backward(self) -> "_PhaseTimer":
+        """Context manager accumulating into the backward-phase clock."""
+        return Trainer._PhaseTimer(self, "_t_bwd")
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One optimisation step on a batch; returns the batch loss."""
+        raise NotImplementedError
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 20,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        shuffle: bool = True,
+        verbose: bool = False,
+        lr_schedule=None,
+        early_stopping_patience: Optional[int] = None,
+    ) -> History:
+        """Run the full training loop and return the epoch history.
+
+        ``lr_schedule`` is an optional callable ``epoch -> learning rate``
+        (see :mod:`repro.nn.schedules`); when given, it overrides the
+        optimiser's rate at the start of every epoch.
+
+        ``early_stopping_patience`` stops training once validation accuracy
+        has not improved for that many consecutive epochs (requires a
+        validation split) — the standard guard against the §9.3 small-batch
+        overfitting regime.
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if early_stopping_patience is not None:
+            if early_stopping_patience <= 0:
+                raise ValueError(
+                    f"early_stopping_patience must be positive, "
+                    f"got {early_stopping_patience}"
+                )
+            if x_val is None or y_val is None or not len(y_val):
+                raise ValueError(
+                    "early stopping requires a validation split"
+                )
+        loader = BatchLoader(
+            x_train,
+            y_train,
+            batch_size=batch_size,
+            shuffle=shuffle,
+            seed=int(self.rng.integers(2**31)),
+        )
+        history = History(method=self.name)
+        best_val = -np.inf
+        epochs_since_best = 0
+        for epoch in range(epochs):
+            if lr_schedule is not None:
+                self.optimizer.lr = float(lr_schedule(epoch))
+            self._t_fwd = 0.0
+            self._t_bwd = 0.0
+            start = time.perf_counter()
+            losses = []
+            for xb, yb in loader:
+                losses.append(self.train_batch(xb, yb))
+            elapsed = time.perf_counter() - start
+            val_acc = None
+            if x_val is not None and y_val is not None and len(y_val):
+                val_acc = self.evaluate(x_val, y_val)
+            stats = EpochStats(
+                epoch=epoch,
+                loss=float(np.mean(losses)),
+                time=elapsed,
+                forward_time=self._t_fwd,
+                backward_time=self._t_bwd,
+                val_accuracy=val_acc,
+            )
+            history.epochs.append(stats)
+            if verbose:
+                acc_str = "" if val_acc is None else f", val_acc={val_acc:.4f}"
+                print(
+                    f"[{self.name}] epoch {epoch}: loss={stats.loss:.4f}, "
+                    f"time={elapsed:.3f}s{acc_str}"
+                )
+            if early_stopping_patience is not None:
+                if val_acc is not None and val_acc > best_val:
+                    best_val = val_acc
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if epochs_since_best >= early_stopping_patience:
+                        break
+        return history
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions under this method's inference mode.
+
+        The default is the exact forward pass; methods whose *inference*
+        also samples (ALSH-approx) override this.
+        """
+        return self.net.predict(x)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of :meth:`predict` on the given split."""
+        return accuracy(y, self.predict(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(net={self.net!r})"

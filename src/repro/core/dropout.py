@@ -1,0 +1,131 @@
+"""DROPOUT — uniform node sampling from the current layer (§5.1).
+
+Srivastava et al.'s dropout viewed the way the paper frames it (Figure 2):
+per training step, each hidden layer keeps a uniformly random subset of its
+nodes — a subset of the *columns* of W — and both the feedforward products
+and backpropagation touch only those columns.  The keep probability is the
+paper's p = 0.05, chosen to match the ≈5 % active sets of ALSH-approx
+(§8.4), which is exactly why plain dropout fares so badly in Table 2: at
+p = 0.05 the kept subset is tiny *and chosen blind to the data*.
+
+Inference uses the classic weight-scaling rule: hidden activations are
+multiplied by p so their expected value matches training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.losses import NLLLoss
+from ..nn.network import MLP
+from .base import Trainer
+
+__all__ = ["DropoutTrainer"]
+
+
+class DropoutTrainer(Trainer):
+    """Dropout with computation restricted to the kept columns.
+
+    One mask per hidden layer is drawn per *batch* (a shared mask is what
+    lets the kept columns be sliced out of the GEMM; with the paper's
+    stochastic setting, batch size 1, this is the per-sample mask of the
+    original algorithm).
+
+    Parameters
+    ----------
+    keep_prob:
+        Probability a node stays active (paper: 0.05).
+    min_active:
+        Lower bound on the kept-set size, so a layer never goes dark.
+    """
+
+    name = "dropout"
+
+    def __init__(
+        self,
+        network: MLP,
+        lr: float = 1e-3,
+        optimizer="sgd",
+        keep_prob: float = 0.05,
+        min_active: int = 1,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(network, lr=lr, optimizer=optimizer, seed=seed)
+        if not 0.0 < keep_prob <= 1.0:
+            raise ValueError(f"keep_prob must be in (0, 1], got {keep_prob}")
+        if min_active < 1:
+            raise ValueError(f"min_active must be at least 1, got {min_active}")
+        self.keep_prob = float(keep_prob)
+        self.min_active = int(min_active)
+
+    # ------------------------------------------------------------------
+    def _sample_active(self, n_nodes: int) -> np.ndarray:
+        """Uniformly random kept set for one hidden layer."""
+        keep = np.nonzero(self.rng.random(n_nodes) < self.keep_prob)[0]
+        if keep.size < self.min_active:
+            extra = self.rng.choice(n_nodes, size=self.min_active, replace=False)
+            keep = np.union1d(keep, extra)
+        return keep
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        n_hidden = len(layers) - 1
+        act = self.net.hidden_activation
+
+        with self._time_forward():
+            active_sets: List[np.ndarray] = []
+            activations = [x]
+            zs_full: List[np.ndarray] = []
+            a = x
+            for i in range(n_hidden):
+                layer = layers[i]
+                cols = self._sample_active(layer.n_out)
+                active_sets.append(cols)
+                z_cols = layer.forward_columns(a, cols)
+                z_full = np.zeros((a.shape[0], layer.n_out))
+                z_full[:, cols] = z_cols
+                zs_full.append(z_full)
+                a_full = np.zeros_like(z_full)
+                a_full[:, cols] = act.forward(z_cols)
+                activations.append(a_full)
+                a = a_full
+            logits = layers[-1].forward(a)
+            loss = self.loss_fn.value(
+                self.net.output_activation.forward(logits), y
+            )
+
+        with self._time_backward():
+            delta = NLLLoss.fused_logit_gradient(logits, y)
+            # Output layer: dense update (its columns are never sampled).
+            # Backpropagate through the pre-update weights first.
+            da = layers[-1].backprop_delta(delta)
+            g_w, g_b = layers[-1].weight_gradients(activations[-1], delta)
+            self.optimizer.update(("W", n_hidden), layers[-1].W, g_w)
+            self.optimizer.update(("b", n_hidden), layers[-1].b, g_b)
+            # Hidden layers: column-sparse gradients over the kept sets.
+            for i in range(n_hidden - 1, -1, -1):
+                layer = layers[i]
+                cols = active_sets[i]
+                delta_cols = da[:, cols] * act.derivative(zs_full[i][:, cols])
+                g_w_cols, g_b_cols = layer.weight_gradients_columns(
+                    activations[i], delta_cols, cols
+                )
+                if i > 0:
+                    da = layer.backprop_delta_columns(delta_cols, cols)
+                self.optimizer.update(("W", i), layer.W, g_w_cols, index=cols)
+                self.optimizer.update(("b", i), layer.b, g_b_cols, index=cols)
+        return loss
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Exact forward with hidden activations scaled by keep_prob."""
+        a = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        for i in range(len(layers) - 1):
+            a = self.net.hidden_activation.forward(layers[i].forward(a))
+            a = a * self.keep_prob
+        logits = layers[-1].forward(a)
+        return logits.argmax(axis=1)

@@ -1,0 +1,33 @@
+"""STANDARD — exact training, the paper's reference point (§8.3).
+
+Exact feedforward and backpropagation with no sampling; every other method
+is measured against this in accuracy (Table 2, Figure 7) and per-epoch
+time (Tables 3–4, Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.losses import NLLLoss
+from .base import Trainer
+
+__all__ = ["StandardTrainer"]
+
+
+class StandardTrainer(Trainer):
+    """Plain SGD/minibatch training with exact matrix products."""
+
+    name = "standard"
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        with self._time_forward():
+            cache = self.net.forward(x)
+            loss = self.loss_fn.value(cache.output, y)
+        with self._time_backward():
+            grads = self.net.backward(cache, y)
+            for i, (g_w, g_b) in enumerate(grads):
+                layer = self.net.layers[i]
+                self.optimizer.update(("W", i), layer.W, g_w)
+                self.optimizer.update(("b", i), layer.b, g_b)
+        return loss

@@ -1,0 +1,129 @@
+"""Streaming data with concept drift.
+
+The paper's §2 motivates CPU training with client-side personalisation:
+models fine-tuned on device against *user data that keeps changing*.  For
+hash-based methods this regime is adversarial in a specific way — the
+tables index yesterday's weight columns against today's inputs — so the
+repository provides a drift substrate to study it.
+
+:class:`DriftingStream` yields minibatches from a class-prototype model
+(the same construction as :mod:`repro.data.synthetic`) whose prototypes
+rotate slowly in feature space: after ``period`` batches each prototype
+has moved a fixed angle towards a fresh random direction.  Labels stay
+meaningful throughout (the Bayes classifier tracks the rotation), so a
+learner that adapts keeps its accuracy and a frozen one decays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DriftingStream"]
+
+
+class DriftingStream:
+    """An infinite minibatch stream whose class structure drifts.
+
+    Parameters
+    ----------
+    dim:
+        Feature dimensionality.
+    n_classes:
+        Number of classes.
+    batch_size:
+        Samples per emitted batch.
+    drift_per_batch:
+        Rotation angle (radians) each prototype moves per batch towards
+        its target direction; 0 disables drift.
+    noise:
+        Per-feature Gaussian noise on samples.
+    seed:
+        Reproducibility control.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_classes: int,
+        batch_size: int = 20,
+        drift_per_batch: float = 0.01,
+        noise: float = 0.5,
+        seed: Optional[int] = 0,
+    ):
+        if dim <= 1:
+            raise ValueError(f"dim must be at least 2, got {dim}")
+        if n_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {n_classes}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if drift_per_batch < 0:
+            raise ValueError(
+                f"drift_per_batch must be non-negative, got {drift_per_batch}"
+            )
+        if noise < 0:
+            raise ValueError(f"noise must be non-negative, got {noise}")
+        self.dim = int(dim)
+        self.n_classes = int(n_classes)
+        self.batch_size = int(batch_size)
+        self.drift_per_batch = float(drift_per_batch)
+        self.noise = float(noise)
+        self.rng = np.random.default_rng(seed)
+        self._protos = self._unit(self.rng.normal(size=(n_classes, dim)))
+        self._targets = self._unit(self.rng.normal(size=(n_classes, dim)))
+        self.batches_emitted = 0
+
+    @staticmethod
+    def _unit(v: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(v, axis=-1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return v / norms
+
+    def prototypes(self) -> np.ndarray:
+        """Current class prototypes (unit vectors), copied."""
+        return self._protos.copy()
+
+    def _rotate_towards(self) -> None:
+        """Move each prototype ``drift_per_batch`` radians toward its
+        target; targets are refreshed when (nearly) reached."""
+        for c in range(self.n_classes):
+            p, t = self._protos[c], self._targets[c]
+            cos = float(np.clip(p @ t, -1.0, 1.0))
+            angle = np.arccos(cos)
+            if angle < self.drift_per_batch + 1e-6:
+                self._targets[c] = self._unit(self.rng.normal(size=self.dim))
+                continue
+            # Slerp a small step along the geodesic from p to t.
+            step = self.drift_per_batch / angle
+            sin = np.sin(angle)
+            new = (
+                np.sin((1 - step) * angle) / sin * p
+                + np.sin(step * angle) / sin * t
+            )
+            self._protos[c] = self._unit(new)
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Emit one (x, y) batch and advance the drift."""
+        labels = self.rng.integers(0, self.n_classes, size=self.batch_size)
+        x = self._protos[labels] * 3.0 + self.rng.normal(
+            scale=self.noise, size=(self.batch_size, self.dim)
+        )
+        if self.drift_per_batch > 0:
+            self._rotate_towards()
+        self.batches_emitted += 1
+        return x, labels
+
+    def eval_batch(self, n: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """A held-out batch from the *current* distribution (no drift
+        advance, independent noise)."""
+        rng = np.random.default_rng(self.rng.integers(2**31))
+        labels = rng.integers(0, self.n_classes, size=n)
+        x = self._protos[labels] * 3.0 + rng.normal(
+            scale=self.noise, size=(n, self.dim)
+        )
+        return x, labels
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.next_batch()

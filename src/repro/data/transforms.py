@@ -1,0 +1,59 @@
+"""Feature/label transforms shared by examples and benches."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["standardize", "minmax_scale", "one_hot", "flatten_images"]
+
+
+def standardize(
+    x_train: np.ndarray, *others: np.ndarray
+) -> Tuple[np.ndarray, ...]:
+    """Zero-mean/unit-variance using *training* statistics only.
+
+    Returns the transformed train split followed by each extra split
+    transformed with the same statistics (no test-set leakage).
+    """
+    x_train = np.asarray(x_train, dtype=float)
+    mean = x_train.mean(axis=0)
+    std = x_train.std(axis=0)
+    std = np.where(std == 0, 1.0, std)
+    out = [(x_train - mean) / std]
+    for x in others:
+        out.append((np.asarray(x, dtype=float) - mean) / std)
+    return tuple(out)
+
+
+def minmax_scale(
+    x_train: np.ndarray, *others: np.ndarray
+) -> Tuple[np.ndarray, ...]:
+    """Scale features into [0, 1] using training min/max."""
+    x_train = np.asarray(x_train, dtype=float)
+    lo = x_train.min(axis=0)
+    span = x_train.max(axis=0) - lo
+    span = np.where(span == 0, 1.0, span)
+    out = [(x_train - lo) / span]
+    for x in others:
+        out.append((np.asarray(x, dtype=float) - lo) / span)
+    return tuple(out)
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels → one-hot matrix."""
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError("labels out of range for n_classes")
+    out = np.zeros((labels.shape[0], n_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """NCHW (or NHW) image tensor → flat rows."""
+    images = np.asarray(images)
+    if images.ndim < 2:
+        raise ValueError(f"expected image tensor, got shape {images.shape}")
+    return images.reshape(images.shape[0], -1)

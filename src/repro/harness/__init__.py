@@ -1,0 +1,57 @@
+"""Experiment harness: configs, the runner, timing, text reporting,
+analytical FLOP/energy models and result persistence."""
+
+from .config import ExperimentConfig
+from .energy import EnergyEstimate, EnergyModel, estimate_training_energy
+from .experiment import ExperimentResult, build_network, run_experiment
+from .flops import StepFlops, flops_table, method_step_flops, speedup_vs_standard
+from .parallel import ALSH_PHASES, PhaseProfile, projected_time, speedup_curve
+from .recommend import Recommendation, recommend_method
+from .report import depth_sweep_table, method_comparison_table, render_report
+from .reporting import (
+    format_markdown_table,
+    format_series,
+    format_table,
+    render_confusion,
+)
+from .roofline import RooflineMachine, RooflinePoint, method_roofline, roofline_table
+from .results import ResultStore, result_from_dict, result_to_dict
+from .sweeps import Sweep
+from .timing import Timer, time_callable
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_network",
+    "run_experiment",
+    "format_table",
+    "format_markdown_table",
+    "format_series",
+    "render_confusion",
+    "render_report",
+    "method_comparison_table",
+    "depth_sweep_table",
+    "Timer",
+    "time_callable",
+    "StepFlops",
+    "method_step_flops",
+    "speedup_vs_standard",
+    "flops_table",
+    "EnergyModel",
+    "EnergyEstimate",
+    "estimate_training_energy",
+    "PhaseProfile",
+    "ALSH_PHASES",
+    "projected_time",
+    "speedup_curve",
+    "Recommendation",
+    "recommend_method",
+    "ResultStore",
+    "result_to_dict",
+    "result_from_dict",
+    "Sweep",
+    "RooflineMachine",
+    "RooflinePoint",
+    "method_roofline",
+    "roofline_table",
+]

@@ -1,0 +1,123 @@
+"""Experiment runner: config in, measured result out.
+
+This is the function behind every table and figure bench: build the
+network for the config's depth/width, train with the configured method,
+then evaluate accuracy, confusion matrix and the §10.3 prediction-collapse
+diagnostics on the test split.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.base import History
+from ..core.registry import make_trainer
+from ..data.benchmarks import load_benchmark
+from ..data.datasets import Dataset
+from ..memsim.profile import estimate_training_memory
+from ..nn.metrics import (
+    confusion_matrix,
+    distinct_predictions,
+    prediction_entropy,
+)
+from ..nn.network import MLP
+from .config import ExperimentConfig
+
+__all__ = ["ExperimentResult", "build_network", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured from one training run."""
+
+    config: ExperimentConfig
+    history: History
+    test_accuracy: float
+    confusion: np.ndarray
+    pred_entropy: float
+    n_distinct_predictions: int
+    train_time: float
+    memory_breakdown: Dict[str, int]
+
+    @property
+    def time_per_epoch(self) -> float:
+        """Mean wall-clock seconds per training epoch."""
+        return self.train_time / max(len(self.history.epochs), 1)
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.config.label()} on {self.config.dataset} "
+            f"({self.config.hidden_layers}x{self.config.hidden_width}): "
+            f"acc={self.test_accuracy:.4f}, "
+            f"time/epoch={self.time_per_epoch:.3f}s, "
+            f"pred_entropy={self.pred_entropy:.3f}"
+        )
+
+
+def build_network(config: ExperimentConfig, dataset: Dataset) -> MLP:
+    """The MLP for a config: input → hidden_layers × width → classes."""
+    sizes = (
+        [dataset.input_dim]
+        + [config.hidden_width] * config.hidden_layers
+        + [dataset.n_classes]
+    )
+    return MLP(sizes, seed=config.seed)
+
+
+def run_experiment(
+    config: ExperimentConfig, dataset: Optional[Dataset] = None
+) -> ExperimentResult:
+    """Train per the config and evaluate on the test split.
+
+    ``dataset`` may be passed in to share one generated dataset across many
+    configs (the benches do this); otherwise it is generated from the
+    config's ``dataset``/``data_scale``/``seed``.
+    """
+    if dataset is None:
+        dataset = load_benchmark(config.dataset, scale=config.data_scale, seed=config.seed)
+    net = build_network(config, dataset)
+    trainer = make_trainer(
+        config.method,
+        net,
+        lr=config.lr,
+        optimizer=config.optimizer,
+        seed=config.seed,
+        **config.method_kwargs,
+    )
+    start = time.perf_counter()
+    history = trainer.fit(
+        dataset.x_train,
+        dataset.y_train,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        x_val=dataset.x_val if dataset.n_val else None,
+        y_val=dataset.y_val if dataset.n_val else None,
+    )
+    train_time = time.perf_counter() - start
+
+    preds = trainer.predict(dataset.x_test)
+    acc = float((preds == dataset.y_test).mean())
+    cm = confusion_matrix(dataset.y_test, preds, dataset.n_classes)
+    memory = estimate_training_memory(
+        config.method,
+        [dataset.input_dim]
+        + [config.hidden_width] * config.hidden_layers
+        + [dataset.n_classes],
+        batch=config.batch_size,
+        optimizer=config.optimizer,
+    )
+    return ExperimentResult(
+        config=config,
+        history=history,
+        test_accuracy=acc,
+        confusion=cm,
+        pred_entropy=prediction_entropy(preds, dataset.n_classes),
+        n_distinct_predictions=distinct_predictions(preds),
+        train_time=train_time,
+        memory_breakdown=memory,
+    )

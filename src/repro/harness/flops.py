@@ -1,0 +1,216 @@
+"""Analytical FLOP accounting for every training method.
+
+The paper's complexity discussion (§4.1–4.2) is asymptotic — Θ(n²) per
+layer for the exact products, reduced by the sampling ratios.  This module
+makes it exact: closed-form floating-point-operation counts per training
+step for each method, split into feedforward / backpropagation / overhead
+(hashing, probability estimation, selection), so the benches can compare
+*measured* speedups against the *arithmetic* ones and quantify how much of
+each method's cost is bookkeeping rather than math.
+
+Conventions: a multiply-accumulate counts as 2 FLOPs; element-wise passes
+(activations, masks) count 1 FLOP per element; comparisons count 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["StepFlops", "method_step_flops", "speedup_vs_standard"]
+
+
+@dataclass
+class StepFlops:
+    """FLOPs of one training step, split by phase."""
+
+    forward: float
+    backward: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        """All FLOPs of the step."""
+        return self.forward + self.backward + self.overhead
+
+    def __add__(self, other: "StepFlops") -> "StepFlops":
+        return StepFlops(
+            self.forward + other.forward,
+            self.backward + other.backward,
+            self.overhead + other.overhead,
+        )
+
+
+def _pairs(layer_sizes: Sequence[int]):
+    return list(zip(layer_sizes[:-1], layer_sizes[1:]))
+
+
+def _dense_forward(batch: int, n_in: int, n_out: int) -> float:
+    # matmul + bias + activation
+    return 2.0 * batch * n_in * n_out + 2.0 * batch * n_out
+
+
+def _dense_backward(batch: int, n_in: int, n_out: int, propagate: bool) -> float:
+    # gW = a^T delta, gb, optional delta propagation, parameter update.
+    flops = 2.0 * batch * n_in * n_out + batch * n_out
+    if propagate:
+        flops += 2.0 * batch * n_in * n_out + batch * n_in  # da + f' mask
+    flops += 2.0 * (n_in * n_out + n_out)  # SGD-style update
+    return flops
+
+
+def _standard(layer_sizes, batch: int, **_) -> StepFlops:
+    fwd = bwd = 0.0
+    pairs = _pairs(layer_sizes)
+    for i, (n_in, n_out) in enumerate(pairs):
+        fwd += _dense_forward(batch, n_in, n_out)
+        bwd += _dense_backward(batch, n_in, n_out, propagate=i > 0)
+    return StepFlops(fwd, bwd, 0.0)
+
+
+def _dropout(layer_sizes, batch: int, keep_prob: float = 0.05, **_) -> StepFlops:
+    fwd = bwd = overhead = 0.0
+    pairs = _pairs(layer_sizes)
+    n_hidden = len(pairs) - 1
+    for i, (n_in, n_out) in enumerate(pairs):
+        active = max(1.0, keep_prob * n_out) if i < n_hidden else n_out
+        fwd += _dense_forward(batch, n_in, int(active))
+        bwd += _dense_backward(batch, n_in, int(active), propagate=i > 0)
+        if i < n_hidden:
+            overhead += n_out  # mask sampling per node
+    return StepFlops(fwd, bwd, overhead * batch)
+
+
+def _adaptive_dropout(layer_sizes, batch: int, **_) -> StepFlops:
+    base = _standard(layer_sizes, batch)
+    # Standout computes π = sigmoid(αz + β), samples, and applies the mask:
+    # ~4 element ops per hidden node, plus the masked multiply.
+    overhead = 0.0
+    for _, n_out in _pairs(layer_sizes)[:-1]:
+        overhead += 5.0 * batch * n_out
+    return StepFlops(base.forward, base.backward, overhead)
+
+
+def _alsh(
+    layer_sizes,
+    batch: int,
+    active_frac: float = 0.2,
+    n_bits: int = 6,
+    n_tables: int = 5,
+    m: int = 3,
+    rebuild_period: float = 100.0,
+    **_,
+) -> StepFlops:
+    fwd = bwd = overhead = 0.0
+    pairs = _pairs(layer_sizes)
+    n_hidden = len(pairs) - 1
+    for i, (n_in, n_out) in enumerate(pairs):
+        active = max(1.0, active_frac * n_out) if i < n_hidden else n_out
+        fwd += _dense_forward(batch, n_in, int(active))
+        bwd += _dense_backward(batch, n_in, int(active), propagate=i > 0)
+        if i < n_hidden:
+            # Query: transform (normalise + pad) then K·L projections over
+            # the transformed dimension, per sample.
+            q_dim = n_in + m
+            overhead += batch * (3.0 * n_in + 2.0 * q_dim * n_bits * n_tables)
+            # Amortised rebuild: re-hash the touched columns every period.
+            touched = active
+            overhead += (
+                batch
+                * touched
+                * (2.0 * q_dim * n_bits * n_tables)
+                / max(rebuild_period, 1.0)
+            )
+    return StepFlops(fwd, bwd, overhead)
+
+
+def _mc(
+    layer_sizes,
+    batch: int,
+    k: int = 10,
+    node_frac: float = 0.1,
+    min_node_samples: int = 32,
+    **_,
+) -> StepFlops:
+    fwd = bwd = overhead = 0.0
+    pairs = _pairs(layer_sizes)
+    for i, (n_in, n_out) in enumerate(pairs):
+        fwd += _dense_forward(batch, n_in, n_out)  # exact forward
+        # gW from a sampled batch of min(k, batch) columns.
+        kb = min(k, batch)
+        bwd += 2.0 * kb * n_in * n_out + batch * n_out
+        if i > 0:
+            # da from a sampled band of the node dimension.
+            budget = min(n_out, max(min_node_samples, round(node_frac * n_out)))
+            bwd += 2.0 * batch * budget * n_in + batch * n_in
+        bwd += 2.0 * (n_in * n_out + n_out)  # update
+        # Probability passes: norms over both operands of both products.
+        overhead += 2.0 * n_in * n_out  # ||W columns|| (da product)
+        overhead += 2.0 * batch * (n_in + n_out)  # batch/delta norms
+    return StepFlops(fwd, bwd, overhead)
+
+
+def _topk(layer_sizes, batch: int, active_frac: float = 0.25, **_) -> StepFlops:
+    drop = _dropout(layer_sizes, batch, keep_prob=active_frac)
+    # Oracle selection pays the full product per hidden layer — the reason
+    # TOPK-APPROX is apparatus, not a method.
+    overhead = 0.0
+    for n_in, n_out in _pairs(layer_sizes)[:-1]:
+        overhead += 2.0 * batch * n_in * n_out
+    return StepFlops(drop.forward, drop.backward, overhead)
+
+
+_MODELS = {
+    "standard": _standard,
+    "dropout": _dropout,
+    "adaptive_dropout": _adaptive_dropout,
+    "alsh": _alsh,
+    "mc": _mc,
+    "topk": _topk,
+}
+
+
+def method_step_flops(
+    method: str, layer_sizes: Sequence[int], batch: int = 1, **kwargs
+) -> StepFlops:
+    """FLOPs of one training step for ``method`` on the architecture.
+
+    ``kwargs`` are the method's sampling parameters (``keep_prob``,
+    ``active_frac``, ``k``, ``node_frac``, ...); unknown ones are ignored
+    so one parameter dict can be shared across methods.
+    """
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least input and output sizes")
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    try:
+        model = _MODELS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; available: {sorted(_MODELS)}"
+        ) from None
+    return model(list(layer_sizes), batch, **kwargs)
+
+
+def speedup_vs_standard(
+    method: str, layer_sizes: Sequence[int], batch: int = 1, **kwargs
+) -> float:
+    """Arithmetic speedup over STANDARD: flops(standard) / flops(method).
+
+    Values below 1.0 mean the method does *more* arithmetic than exact
+    training (e.g. MC-approx at batch size 1, where the probability passes
+    are pure overhead — the §9.3 finding, in closed form).
+    """
+    std = method_step_flops("standard", layer_sizes, batch)
+    other = method_step_flops(method, layer_sizes, batch, **kwargs)
+    return std.total / other.total
+
+
+def flops_table(
+    layer_sizes: Sequence[int], batch: int = 1, **kwargs
+) -> Dict[str, StepFlops]:
+    """Per-method step FLOPs for one architecture (all methods)."""
+    return {
+        name: method_step_flops(name, layer_sizes, batch, **kwargs)
+        for name in _MODELS
+    }

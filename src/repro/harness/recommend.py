@@ -1,0 +1,84 @@
+"""The §10.4 decision tree, executable.
+
+The paper closes its discussion with a decision tree for choosing a
+training method on CPU machines:
+
+* minibatch SGD → **MC-approx** (§9.3, Table 4);
+* stochastic SGD, shallow network (≤ 4 hidden layers), parallel hardware
+  available → **ALSH-approx** (it scales to ~2^6 processors for up to four
+  layers [50]);
+* stochastic SGD otherwise → **standard** training (no sampling method
+  wins; "designing scalable sampling-based algorithms for SGD on CPU
+  remains an open research direction").
+
+:func:`recommend_method` encodes exactly that tree and returns both the
+choice and the paper-grounded reason, so the harness (and the CLI) can
+explain itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Recommendation", "recommend_method"]
+
+SHALLOW_LIMIT = 4  # "Shallow (<=4)" in the paper's tree
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A method choice plus the paper's justification."""
+
+    method: str
+    reason: str
+
+
+def recommend_method(
+    batch_size: int,
+    hidden_layers: int,
+    parallel_hardware: bool = False,
+) -> Recommendation:
+    """Apply the §10.4 decision tree.
+
+    Parameters
+    ----------
+    batch_size:
+        1 selects the stochastic branch; anything larger the minibatch
+        branch.
+    hidden_layers:
+        Network depth (the tree splits at 4).
+    parallel_hardware:
+        Whether multiple cores are available for ALSH-approx's table
+        machinery.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if hidden_layers < 0:
+        raise ValueError(f"hidden_layers must be >= 0, got {hidden_layers}")
+
+    if batch_size > 1:
+        return Recommendation(
+            "mc",
+            "minibatch SGD: MC-approx surpasses other methods in accuracy, "
+            "speed and memory efficiency (§9.3, Tables 2 and 4)",
+        )
+    if hidden_layers <= SHALLOW_LIMIT and parallel_hardware:
+        return Recommendation(
+            "alsh",
+            "stochastic SGD on a shallow network with parallel hardware: "
+            "ALSH-approx scales with multi-processing up to four layers "
+            "(§10.4, [50]); beyond that Theorem 7.2's error growth bites",
+        )
+    if hidden_layers <= SHALLOW_LIMIT:
+        return Recommendation(
+            "standard",
+            "stochastic SGD without parallel hardware: sequential "
+            "ALSH-approx is the slowest method (Table 3) and MC-approx's "
+            "probability machinery is overhead at batch size 1 (§9.3)",
+        )
+    return Recommendation(
+        "standard",
+        "stochastic SGD on a deep network: ALSH-approx collapses past "
+        "~4 hidden layers (Theorem 7.2, Figure 7) and no sampling-based "
+        "method wins — an open research direction (§10.2)",
+    )

@@ -1,0 +1,95 @@
+"""Markdown report generation from stored experiment results.
+
+Turns the contents of a :class:`~repro.harness.results.ResultStore` (or
+any list of :class:`~repro.harness.experiment.ExperimentResult`) into the
+tables this repository's EXPERIMENTS.md is made of: per-dataset method
+comparisons and per-method depth sweeps, with the §10.3 collapse
+diagnostics alongside accuracy and time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from .experiment import ExperimentResult
+from .reporting import format_markdown_table
+
+__all__ = ["method_comparison_table", "depth_sweep_table", "render_report"]
+
+
+def _by(results: Iterable[ExperimentResult], field: str) -> Dict[object, list]:
+    groups: Dict[object, list] = defaultdict(list)
+    for result in results:
+        groups[getattr(result.config, field)].append(result)
+    return groups
+
+
+def method_comparison_table(results: Sequence[ExperimentResult]) -> str:
+    """One row per method: accuracy / time / collapse diagnostics.
+
+    When several results share a method (e.g. different depths), the
+    highest-accuracy one represents it — report the method at its best.
+    """
+    if not results:
+        raise ValueError("no results to report")
+    best: Dict[str, ExperimentResult] = {}
+    for result in results:
+        label = result.config.label()
+        if label not in best or result.test_accuracy > best[label].test_accuracy:
+            best[label] = result
+    rows = [
+        [
+            label,
+            r.test_accuracy,
+            r.time_per_epoch,
+            r.pred_entropy,
+            r.n_distinct_predictions,
+        ]
+        for label, r in sorted(best.items())
+    ]
+    return format_markdown_table(
+        ["method", "accuracy", "time/epoch (s)", "pred entropy", "distinct labels"],
+        rows,
+    )
+
+
+def depth_sweep_table(results: Sequence[ExperimentResult]) -> str:
+    """Depth (rows) × method (columns) accuracy matrix."""
+    if not results:
+        raise ValueError("no results to report")
+    methods = sorted({r.config.label() for r in results})
+    by_depth = _by(results, "hidden_layers")
+    rows: List[list] = []
+    for depth in sorted(by_depth):
+        cells: Dict[str, float] = {}
+        for result in by_depth[depth]:
+            label = result.config.label()
+            cells[label] = max(
+                cells.get(label, float("-inf")), result.test_accuracy
+            )
+        rows.append([depth] + [cells.get(m) for m in methods])
+    return format_markdown_table(["hidden layers"] + methods, rows)
+
+
+def render_report(
+    results: Sequence[ExperimentResult], title: str = "Experiment report"
+) -> str:
+    """Full markdown report: per-dataset comparison + depth sweeps."""
+    if not results:
+        raise ValueError("no results to report")
+    sections = [f"# {title}", ""]
+    for dataset, group in sorted(_by(results, "dataset").items()):
+        sections.append(f"## {dataset}")
+        sections.append("")
+        sections.append("### Methods at their best configuration")
+        sections.append("")
+        sections.append(method_comparison_table(group))
+        sections.append("")
+        depths = {r.config.hidden_layers for r in group}
+        if len(depths) > 1:
+            sections.append("### Accuracy vs depth")
+            sections.append("")
+            sections.append(depth_sweep_table(group))
+            sections.append("")
+    return "\n".join(sections)

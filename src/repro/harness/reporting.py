@@ -1,0 +1,121 @@
+"""Text rendering of the paper's tables and figures.
+
+Every bench prints its reproduction through these helpers: aligned tables
+(Tables 2–4), ASCII-art confusion matrices (Figure 3) and labelled numeric
+series (the line plots of Figures 7–12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "render_confusion", "format_series", "format_markdown_table"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Aligned plain-text table; floats are formatted, None shows as '-'."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        str_rows.append(cells)
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """GitHub-flavoured markdown table (used by EXPERIMENTS.md generation)."""
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def render_confusion(cm: np.ndarray, title: Optional[str] = None) -> str:
+    """ASCII heat map of a confusion matrix (rows: true, cols: predicted).
+
+    Cell shading is row-normalised, mirroring how the paper's Figure 3
+    panels read: a clean diagonal means a healthy classifier, vertical
+    bars mean the §10.3 prediction collapse.
+    """
+    cm = np.asarray(cm)
+    if cm.ndim != 2 or cm.shape[0] != cm.shape[1]:
+        raise ValueError(f"confusion matrix must be square, got {cm.shape}")
+    n = cm.shape[0]
+    row_sums = cm.sum(axis=1, keepdims=True).astype(float)
+    row_sums[row_sums == 0] = 1.0
+    norm = cm / row_sums
+    lines = []
+    if title:
+        lines.append(title)
+    header = "     " + " ".join(f"{j:>2d}" for j in range(n))
+    lines.append(header + "   (predicted)")
+    for i in range(n):
+        shades = []
+        for j in range(n):
+            level = int(round(norm[i, j] * (len(_SHADES) - 1)))
+            shades.append(" " + _SHADES[level] * 2)
+        lines.append(f"{i:>3d} " + "".join(shades))
+    lines.append(f"diagonal mass: {np.trace(cm) / max(cm.sum(), 1):.3f}")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Figure data as a table: one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(float(values[i]) if i < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,43 @@
+"""Wall-clock timing helpers for the runtime tables and figures."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["Timer", "time_callable"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __enter__(self) -> "Timer":
+        self.elapsed = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 3
+) -> Tuple[float, float]:
+    """(median, min) elapsed seconds over ``repeats`` calls of ``fn``."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), float(min(times))

@@ -1,0 +1,40 @@
+"""Locality-sensitive hashing substrate.
+
+Signed-random-projection hashing, multi-table indexes, the Shrivastava–Li
+asymmetric transforms reducing maximum-inner-product search to
+near-neighbour search, and the rebuild scheduler ALSH-approx uses during
+training.
+"""
+
+from .alsh import AsymmetricTransform
+from .diagnostics import (
+    BucketStats,
+    bucket_stats,
+    candidate_size_profile,
+    recall_at_k,
+)
+from .mips import MIPSIndex, exact_mips
+from .rebuild import RebuildScheduler
+from .drift import ColumnDriftTracker
+from .dwta import DensifiedWTA
+from .srp import SignedRandomProjection, collision_probability
+from .tables import HASH_FAMILIES, HashTable, LSHIndex, make_hash_function
+
+__all__ = [
+    "SignedRandomProjection",
+    "DensifiedWTA",
+    "HASH_FAMILIES",
+    "make_hash_function",
+    "collision_probability",
+    "HashTable",
+    "LSHIndex",
+    "AsymmetricTransform",
+    "MIPSIndex",
+    "exact_mips",
+    "RebuildScheduler",
+    "BucketStats",
+    "bucket_stats",
+    "recall_at_k",
+    "candidate_size_profile",
+    "ColumnDriftTracker",
+]

@@ -1,0 +1,112 @@
+"""LSH index health diagnostics.
+
+ALSH-approx's behaviour is governed by quantities the trainer never prints:
+how full the buckets are, how large the candidate unions get, and how much
+recall the tables actually achieve against exact MIPS.  This module
+computes them, both for debugging a mis-tuned (K, L) and for the
+hash-family ablations (SRP vs DWTA occupancy profiles differ noticeably).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .mips import MIPSIndex, exact_mips
+from .tables import LSHIndex
+
+__all__ = ["BucketStats", "bucket_stats", "recall_at_k", "candidate_size_profile"]
+
+
+@dataclass(frozen=True)
+class BucketStats:
+    """Occupancy statistics across every table of an index."""
+
+    n_tables: int
+    n_items: int
+    occupied_buckets: int
+    total_buckets: int
+    max_bucket: int
+    mean_bucket: float
+    gini: float
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of addressable buckets holding at least one item."""
+        if self.total_buckets == 0:
+            return 0.0
+        return self.occupied_buckets / self.total_buckets
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini coefficient of bucket loads (0 = perfectly even)."""
+    if counts.size == 0:
+        return 0.0
+    sorted_counts = np.sort(counts.astype(float))
+    n = sorted_counts.size
+    total = sorted_counts.sum()
+    if total == 0:
+        return 0.0
+    cum = np.cumsum(sorted_counts)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def bucket_stats(index: LSHIndex) -> BucketStats:
+    """Aggregate occupancy statistics over an index's tables.
+
+    A healthy index spreads items: low Gini, max bucket ≪ n_items.  A
+    degenerate hash (e.g. all-equal vectors) concentrates everything in
+    one bucket, which makes every query return the whole collection — the
+    failure mode where "sampling" stops sampling.
+    """
+    loads = []
+    occupied = 0
+    for table in index.tables:
+        counts = [len(bucket) for bucket in table.buckets.values()]
+        loads.extend(counts)
+        occupied += len(counts)
+    loads_arr = np.array(loads, dtype=float) if loads else np.zeros(0)
+    return BucketStats(
+        n_tables=index.n_tables,
+        n_items=len(index),
+        occupied_buckets=occupied,
+        total_buckets=index.n_tables * (1 << index.n_bits),
+        max_bucket=int(loads_arr.max()) if loads_arr.size else 0,
+        mean_bucket=float(loads_arr.mean()) if loads_arr.size else 0.0,
+        gini=_gini(loads_arr),
+    )
+
+
+def recall_at_k(
+    index: MIPSIndex,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int = 10,
+) -> float:
+    """Mean fraction of the true top-k MIPS results in the candidate set.
+
+    The recall/active-set-size trade-off is the whole (K, L) tuning game:
+    more tables raise recall and candidate counts together.
+    """
+    data = np.atleast_2d(data)
+    queries = np.atleast_2d(queries)
+    if not 1 <= k <= data.shape[0]:
+        raise ValueError(f"k must be in [1, {data.shape[0]}], got {k}")
+    total = 0.0
+    for q in queries:
+        truth = set(exact_mips(data, q, k).tolist())
+        candidates = set(index.query(q).tolist())
+        total += len(truth & candidates) / k
+    return total / queries.shape[0]
+
+
+def candidate_size_profile(
+    index: MIPSIndex,
+    queries: np.ndarray,
+) -> np.ndarray:
+    """Candidate-set size for each query (the trainer's active-set size
+    before clamping)."""
+    queries = np.atleast_2d(queries)
+    return np.array([index.query(q).size for q in queries])

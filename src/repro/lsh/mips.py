@@ -1,0 +1,106 @@
+"""Maximum inner-product search over a mutable vector collection.
+
+:class:`MIPSIndex` is the engine behind ALSH-approx's active-node selection:
+the collection is the set of weight columns of a layer, queries are the
+layer's input activation vectors, and a query returns the ids of columns
+likely to have large inner product with the query (Eq. 4 of the paper).
+
+:func:`exact_mips` is the brute-force reference used in tests and as a
+deterministic "oracle sampler" ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .alsh import AsymmetricTransform
+from .tables import LSHIndex
+
+__all__ = ["MIPSIndex", "exact_mips"]
+
+
+def exact_mips(data: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k rows of ``data`` with largest ⟨row, query⟩."""
+    data = np.atleast_2d(data)
+    if not 1 <= k <= data.shape[0]:
+        raise ValueError(f"k must be in [1, {data.shape[0]}], got {k}")
+    scores = data @ np.asarray(query, dtype=float).reshape(-1)
+    top = np.argpartition(-scores, k - 1)[:k]
+    return top[np.argsort(-scores[top])]
+
+
+class MIPSIndex:
+    """ALSH-based approximate MIPS with incremental updates.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stored vectors (weight-column length).
+    n_bits, n_tables:
+        LSH shape (paper defaults K = 6, L = 5).
+    m, scale:
+        Asymmetric transform parameters (paper default m = 3).
+    family:
+        Hash family — "srp" (default) or "dwta".
+    seed:
+        Reproducibility control for the hash hyperplanes.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_bits: int = 6,
+        n_tables: int = 5,
+        m: int = 3,
+        scale: float = 0.83,
+        family: str = "srp",
+        seed: Optional[int] = None,
+    ):
+        self.transform = AsymmetricTransform(m=m, scale=scale)
+        self.index = LSHIndex(
+            self.transform.output_dim(dim),
+            n_bits=n_bits,
+            n_tables=n_tables,
+            family=family,
+            seed=seed,
+        )
+        self.dim = int(dim)
+        self._n_items = 0
+
+    def build(self, data: np.ndarray) -> None:
+        """Index a collection; item ids are row indices into ``data``."""
+        data = np.atleast_2d(data)
+        if data.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {data.shape[1]}")
+        transformed, _ = self.transform.transform_data(data)
+        self.index.build(transformed)
+        self._n_items = data.shape[0]
+
+    def update(self, ids: np.ndarray, data: np.ndarray) -> None:
+        """Re-index a subset of items after their vectors changed.
+
+        Note: P-transform scaling is refit on the *subset*, consistent with
+        the reference implementation's periodic partial rebuilds; a full
+        :meth:`build` refits the global scaling.
+        """
+        transformed, _ = self.transform.transform_data(np.atleast_2d(data))
+        self.index.update(np.asarray(ids), transformed)
+
+    def query(self, query: np.ndarray) -> np.ndarray:
+        """Candidate item ids colliding with the query (sorted, unique)."""
+        q = self.transform.transform_query_one(np.asarray(query, dtype=float))
+        return self.index.query(q)
+
+    def query_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+        """Candidate sets for a batch of queries."""
+        q = self.transform.transform_query(np.asarray(queries, dtype=float))
+        return self.index.query_batch(q)
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the underlying tables."""
+        return self.index.memory_bytes()
+
+    def __len__(self) -> int:
+        return self._n_items

@@ -1,0 +1,82 @@
+"""Signed random projection (SimHash) hash family.
+
+ALSH-approx hashes layer inputs and weight columns with K-bit signatures
+built from K random hyperplanes (§5.2: "L independent hash tables with 2^K
+hash buckets and a K-bit randomized hash function").  For unit vectors the
+per-bit collision probability is the classic ``1 − θ/π`` where θ is the
+angle between the vectors; :func:`collision_probability` exposes that
+analytic value so tests can compare empirical collision rates against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SignedRandomProjection", "collision_probability"]
+
+
+class SignedRandomProjection:
+    """A K-bit SimHash function over ``dim``-dimensional vectors.
+
+    Each bit is the sign of a projection onto an independent Gaussian
+    direction; the K bits are packed into a single integer bucket id in
+    ``[0, 2^K)``.
+    """
+
+    def __init__(self, dim: int, n_bits: int, rng: Optional[np.random.Generator] = None):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 1 <= n_bits <= 62:
+            raise ValueError(f"n_bits must be in [1, 62], got {n_bits}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = int(dim)
+        self.n_bits = int(n_bits)
+        self.planes = rng.normal(size=(dim, n_bits))
+        self._powers = (1 << np.arange(n_bits)).astype(np.int64)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of addressable buckets, ``2^K``."""
+        return 1 << self.n_bits
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the hyperplane matrix."""
+        return self.planes.nbytes
+
+    def signatures(self, vectors: np.ndarray) -> np.ndarray:
+        """Bit matrix of signs, shape ``(n_vectors, n_bits)``."""
+        vectors = np.atleast_2d(vectors)
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected vectors of dim {self.dim}, got {vectors.shape[1]}"
+            )
+        return (vectors @ self.planes) >= 0.0
+
+    def hash(self, vectors: np.ndarray) -> np.ndarray:
+        """Integer bucket ids in ``[0, 2^K)`` for a batch of vectors."""
+        bits = self.signatures(vectors)
+        return bits.astype(np.int64) @ self._powers
+
+    def hash_one(self, vector: np.ndarray) -> int:
+        """Bucket id of a single vector."""
+        return int(self.hash(vector.reshape(1, -1))[0])
+
+
+def collision_probability(u: np.ndarray, v: np.ndarray, n_bits: int = 1) -> float:
+    """Analytic SimHash collision probability ``(1 − θ/π)^n_bits``.
+
+    θ is the angle between ``u`` and ``v``.  Degenerate zero vectors give an
+    angle of π/2 (projections are symmetric coin flips on one side).
+    """
+    u = np.asarray(u, dtype=float).reshape(-1)
+    v = np.asarray(v, dtype=float).reshape(-1)
+    nu, nv = np.linalg.norm(u), np.linalg.norm(v)
+    if nu == 0.0 or nv == 0.0:
+        theta = np.pi / 2
+    else:
+        cos = np.clip(u @ v / (nu * nv), -1.0, 1.0)
+        theta = float(np.arccos(cos))
+    return float((1.0 - theta / np.pi) ** n_bits)

@@ -1,0 +1,157 @@
+"""Multi-table LSH index with bucket storage and partial rebuilds.
+
+ALSH-approx assigns every layer L independent hash tables of 2^K buckets
+(§5.2).  Querying returns the *union* of the colliding buckets across the L
+tables — a set of candidate node ids — which becomes the layer's active set.
+The index supports re-inserting a subset of items (after their weight
+vectors change) without rebuilding untouched entries, mirroring the paper's
+periodic hash-table updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from .dwta import DensifiedWTA
+from .srp import SignedRandomProjection
+
+__all__ = ["HashTable", "LSHIndex", "make_hash_function", "HASH_FAMILIES"]
+
+HASH_FAMILIES = ("srp", "dwta")
+
+
+def make_hash_function(family: str, dim: int, n_bits: int, rng: np.random.Generator):
+    """Build a hash function by family name ("srp" or "dwta")."""
+    if family == "srp":
+        return SignedRandomProjection(dim, n_bits, rng)
+    if family == "dwta":
+        return DensifiedWTA(dim, n_bits, rng=rng)
+    raise ValueError(f"unknown hash family {family!r}; available: {HASH_FAMILIES}")
+
+
+class HashTable:
+    """One hash table: a K-bit hash function plus bucket → item-id sets."""
+
+    def __init__(
+        self, dim: int, n_bits: int, rng: np.random.Generator, family: str = "srp"
+    ):
+        self.fn = make_hash_function(family, dim, n_bits, rng)
+        self.buckets: Dict[int, Set[int]] = {}
+        self._item_bucket: Dict[int, int] = {}
+
+    def insert(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Insert (or move) items; an existing id is first removed."""
+        codes = self.fn.hash(vectors)
+        for item, code in zip(np.asarray(ids).tolist(), codes.tolist()):
+            old = self._item_bucket.get(item)
+            if old is not None and old != code:
+                bucket = self.buckets.get(old)
+                if bucket is not None:
+                    bucket.discard(item)
+                    if not bucket:
+                        del self.buckets[old]
+            self.buckets.setdefault(code, set()).add(item)
+            self._item_bucket[item] = code
+
+    def query(self, vector: np.ndarray) -> Set[int]:
+        """Item ids sharing the query's bucket."""
+        return self.buckets.get(self.fn.hash_one(vector), set())
+
+    def query_batch(self, vectors: np.ndarray) -> List[Set[int]]:
+        """Bucket contents for a batch of queries."""
+        codes = self.fn.hash(vectors)
+        return [self.buckets.get(int(c), set()) for c in codes]
+
+    def clear(self) -> None:
+        """Drop all stored items (hash function is kept)."""
+        self.buckets.clear()
+        self._item_bucket.clear()
+
+    def __len__(self) -> int:
+        return len(self._item_bucket)
+
+
+class LSHIndex:
+    """L independent K-bit hash tables over a fixed vector collection.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the (already transformed) vectors.
+    n_bits:
+        K — bits per table (2^K buckets).
+    n_tables:
+        L — number of independent tables (paper default L = 5, K = 6).
+    family:
+        Hash family: "srp" (SimHash, the default) or "dwta"
+        (densified winner-take-all, the SLIDE-style family).
+    seed / rng:
+        Reproducibility controls.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_bits: int = 6,
+        n_tables: int = 5,
+        family: str = "srp",
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_tables <= 0:
+            raise ValueError(f"n_tables must be positive, got {n_tables}")
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        self.dim = int(dim)
+        self.n_bits = int(n_bits)
+        self.n_tables = int(n_tables)
+        self.family = family
+        self.tables = [
+            HashTable(dim, n_bits, rng, family=family) for _ in range(n_tables)
+        ]
+
+    def build(self, vectors: np.ndarray) -> None:
+        """(Re)index a full collection; item ids are the row indices."""
+        vectors = np.atleast_2d(vectors)
+        ids = np.arange(vectors.shape[0])
+        for table in self.tables:
+            table.clear()
+            table.insert(ids, vectors)
+
+    def update(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Re-insert only the given items (after their vectors changed)."""
+        for table in self.tables:
+            table.insert(ids, vectors)
+
+    def query(self, vector: np.ndarray) -> np.ndarray:
+        """Union of colliding ids across all L tables, sorted."""
+        hits: Set[int] = set()
+        for table in self.tables:
+            hits |= table.query(vector)
+        return np.fromiter(sorted(hits), dtype=np.int64, count=len(hits))
+
+    def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:
+        """Per-query candidate sets for a batch."""
+        vectors = np.atleast_2d(vectors)
+        per_table = [table.query_batch(vectors) for table in self.tables]
+        results = []
+        for i in range(vectors.shape[0]):
+            hits: Set[int] = set()
+            for table_hits in per_table:
+                hits |= table_hits[i]
+            results.append(np.fromiter(sorted(hits), dtype=np.int64, count=len(hits)))
+        return results
+
+    def memory_bytes(self) -> int:
+        """Rough memory footprint: hyperplanes plus bucket entries.
+
+        Used by the §9.4-style memory analysis (table setup cost of
+        ALSH-approx).
+        """
+        planes = sum(t.fn.nbytes for t in self.tables)
+        entries = sum(len(t) for t in self.tables) * 8
+        return planes + entries
+
+    def __len__(self) -> int:
+        return len(self.tables[0])

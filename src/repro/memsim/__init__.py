@@ -1,0 +1,27 @@
+"""Memory and cache simulation for the §9.4 analysis.
+
+A set-associative LRU cache hierarchy, an allocation tracker, and
+per-method access-trace models that reproduce the paper's relative
+cache-miss findings offline.
+"""
+
+from .cache import CacheHierarchy, CacheLevel, default_hierarchy
+from .profile import (
+    ArrayRegion,
+    MethodTraceModel,
+    estimate_training_memory,
+    profile_methods,
+)
+from .tracker import AllocationTracker, array_nbytes
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "default_hierarchy",
+    "AllocationTracker",
+    "array_nbytes",
+    "ArrayRegion",
+    "MethodTraceModel",
+    "profile_methods",
+    "estimate_training_memory",
+]

@@ -1,0 +1,98 @@
+"""Weight initialisation schemes.
+
+ALSH-approx (§5.2) requires the column norms of every weight matrix to stay
+below a constant ``C < 1`` so the Shrivastava–Li transform applies;
+:func:`scaled_columns` provides an initialiser that enforces this at t=0
+(the trainer re-normalises during training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "he_normal",
+    "he_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "uniform",
+    "zeros",
+    "scaled_columns",
+    "get_initializer",
+]
+
+
+def he_normal(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He initialisation, the sensible default for ReLU networks."""
+    return rng.normal(0.0, np.sqrt(2.0 / n_in), size=(n_in, n_out))
+
+
+def he_uniform(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He initialisation with a uniform distribution."""
+    limit = np.sqrt(6.0 / n_in)
+    return rng.uniform(-limit, limit, size=(n_in, n_out))
+
+
+def xavier_normal(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation (sigmoid/tanh networks)."""
+    return rng.normal(0.0, np.sqrt(2.0 / (n_in + n_out)), size=(n_in, n_out))
+
+
+def xavier_uniform(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (n_in + n_out))
+    return rng.uniform(-limit, limit, size=(n_in, n_out))
+
+
+def uniform(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Plain U(-0.05, 0.05) initialisation."""
+    return rng.uniform(-0.05, 0.05, size=(n_in, n_out))
+
+
+def zeros(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zero weights (useful in tests only; breaks symmetry nowhere)."""
+    return np.zeros((n_in, n_out))
+
+
+def scaled_columns(
+    n_in: int,
+    n_out: int,
+    rng: np.random.Generator,
+    max_norm: float = 0.9,
+) -> np.ndarray:
+    """He init with every column rescaled to l2-norm ≤ ``max_norm`` < 1.
+
+    This satisfies the ‖w‖ ≤ C < 1 precondition of the ALSH transform
+    (Definition 5.1 of the paper) at initialisation.
+    """
+    if not 0.0 < max_norm < 1.0:
+        raise ValueError(f"max_norm must be in (0, 1), got {max_norm}")
+    w = he_normal(n_in, n_out, rng)
+    norms = np.linalg.norm(w, axis=0)
+    over = norms > max_norm
+    if over.any():
+        w[:, over] *= max_norm / norms[over]
+    return w
+
+
+_REGISTRY = {
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "xavier_normal": xavier_normal,
+    "xavier_uniform": xavier_uniform,
+    "uniform": uniform,
+    "zeros": zeros,
+    "scaled_columns": scaled_columns,
+}
+
+
+def get_initializer(name):
+    """Resolve an initialiser by name (or pass a callable through)."""
+    if callable(name):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,140 @@
+"""Classification metrics used throughout the evaluation (§8.5, §10.3).
+
+Besides accuracy and confusion matrices (the paper's Figure 3), this module
+implements the diagnostics behind the §10.3 observation about ALSH-approx:
+as depth grows, its *predicted-label distribution* collapses onto a few
+classes.  :func:`prediction_entropy` and :func:`distinct_predictions`
+quantify that collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_report",
+    "prediction_entropy",
+    "distinct_predictions",
+    "prediction_distribution",
+    "topk_accuracy",
+    "collapse_report",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true.astype(int), y_pred.astype(int)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions, in [0, 1]."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Counts matrix ``M[i, j]`` = samples with true class i predicted j.
+
+    Rows are true labels and columns predictions, matching the axes of the
+    paper's Figure 3.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    if n_classes <= 0:
+        raise ValueError(f"n_classes must be positive, got {n_classes}")
+    if y_true.max() >= n_classes or y_pred.max() >= n_classes:
+        raise ValueError("labels exceed n_classes")
+    if y_true.min() < 0 or y_pred.min() < 0:
+        raise ValueError("labels must be non-negative")
+    m = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(m, (y_true, y_pred), 1)
+    return m
+
+
+def per_class_report(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> Dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(cm).astype(float)
+    pred_totals = cm.sum(axis=0).astype(float)
+    true_totals = cm.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_totals > 0, tp / pred_totals, 0.0)
+        recall = np.where(true_totals > 0, tp / true_totals, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1, "support": true_totals}
+
+
+def prediction_distribution(y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Empirical distribution of the predicted labels."""
+    y_pred = np.asarray(y_pred).reshape(-1).astype(int)
+    if y_pred.size == 0:
+        raise ValueError("empty prediction array")
+    counts = np.bincount(y_pred, minlength=n_classes).astype(float)
+    return counts / counts.sum()
+
+
+def prediction_entropy(y_pred: np.ndarray, n_classes: int) -> float:
+    """Shannon entropy (nats) of the predicted-label distribution.
+
+    A healthy classifier on a balanced test set is near ``log(n_classes)``;
+    the §10.3 ALSH collapse drives this towards 0.
+    """
+    p = prediction_distribution(y_pred, n_classes)
+    nz = p[p > 0]
+    return float(-(nz * np.log(nz)).sum())
+
+
+def distinct_predictions(y_pred: np.ndarray) -> int:
+    """Number of distinct classes the model actually predicts."""
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if y_pred.size == 0:
+        raise ValueError("empty prediction array")
+    return int(np.unique(y_pred).size)
+
+
+def topk_accuracy(y_true: np.ndarray, logproba: np.ndarray, k: int = 3) -> float:
+    """Fraction of samples whose true class is among the top-k outputs.
+
+    ``logproba`` is the network's (log-)probability matrix; only the
+    per-row ordering matters.
+    """
+    y_true = np.asarray(y_true).reshape(-1)
+    logproba = np.atleast_2d(logproba)
+    if y_true.shape[0] != logproba.shape[0]:
+        raise ValueError(
+            f"{y_true.shape[0]} labels vs {logproba.shape[0]} output rows"
+        )
+    if not 1 <= k <= logproba.shape[1]:
+        raise ValueError(f"k must be in [1, {logproba.shape[1]}], got {k}")
+    top = np.argpartition(-logproba, k - 1, axis=1)[:, :k]
+    return float((top == y_true[:, None]).any(axis=1).mean())
+
+
+def collapse_report(y_pred: np.ndarray, n_classes: int) -> Dict[str, float]:
+    """The §10.3 prediction-collapse diagnostics in one dict.
+
+    Keys: ``entropy`` (nats; log(n_classes) is healthy), ``distinct``
+    (classes actually predicted), ``top_share`` (mass on the most
+    predicted label; 1/n_classes is healthy, →1 under collapse).
+    """
+    dist = prediction_distribution(y_pred, n_classes)
+    return {
+        "entropy": prediction_entropy(y_pred, n_classes),
+        "distinct": float(distinct_predictions(y_pred)),
+        "top_share": float(dist.max()),
+    }

@@ -1,0 +1,130 @@
+"""Learning-rate schedules.
+
+The paper trains at fixed learning rates (1e-3 / 1e-4, §8.4); schedules
+are provided as substrate for the §9.3 discussion — "the optimal learning
+rate to use is smaller for smaller batch sizes" — and for the batch-size
+ablations, where decaying schedules let the stochastic regimes finish
+training without the divergence a fixed high rate risks.
+
+A schedule maps a 0-based epoch index to a learning rate and plugs into
+:meth:`repro.core.base.Trainer.fit` via the ``lr_schedule`` argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+__all__ = [
+    "Schedule",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "ExponentialDecaySchedule",
+    "CosineSchedule",
+    "WarmupSchedule",
+    "get_schedule",
+]
+
+Schedule = Callable[[int], float]
+"""A learning-rate schedule: epoch index (0-based) → learning rate."""
+
+
+class ConstantSchedule:
+    """Fixed learning rate — the paper's setting."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepDecaySchedule:
+    """Multiply the rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, lr: float, factor: float = 0.5, every: int = 10):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self.lr = float(lr)
+        self.factor = float(factor)
+        self.every = int(every)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.factor ** (epoch // self.every)
+
+
+class ExponentialDecaySchedule:
+    """lr · decay^epoch."""
+
+    def __init__(self, lr: float, decay: float = 0.95):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.lr = float(lr)
+        self.decay = float(decay)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.decay**epoch
+
+
+class CosineSchedule:
+    """Cosine annealing from ``lr`` to ``lr_min`` over ``total_epochs``."""
+
+    def __init__(self, lr: float, total_epochs: int, lr_min: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        if lr_min < 0 or lr_min > lr:
+            raise ValueError(f"lr_min must be in [0, lr], got {lr_min}")
+        self.lr = float(lr)
+        self.lr_min = float(lr_min)
+        self.total_epochs = int(total_epochs)
+
+    def __call__(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.lr_min + 0.5 * (self.lr - self.lr_min) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+class WarmupSchedule:
+    """Linear warm-up over ``warmup_epochs`` then hand off to ``after``."""
+
+    def __init__(self, after: Schedule, warmup_epochs: int = 3):
+        if warmup_epochs <= 0:
+            raise ValueError(f"warmup_epochs must be positive, got {warmup_epochs}")
+        self.after = after
+        self.warmup_epochs = int(warmup_epochs)
+
+    def __call__(self, epoch: int) -> float:
+        target = self.after(self.warmup_epochs)
+        if epoch < self.warmup_epochs:
+            return target * (epoch + 1) / self.warmup_epochs
+        return self.after(epoch)
+
+
+def get_schedule(name, lr: float, **kwargs) -> Schedule:
+    """Build a schedule by name (or pass a callable through)."""
+    if callable(name):
+        return name
+    registry = {
+        "constant": ConstantSchedule,
+        "step": StepDecaySchedule,
+        "exponential": ExponentialDecaySchedule,
+        "cosine": CosineSchedule,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(lr, **kwargs)

@@ -1,0 +1,77 @@
+"""Model persistence: save/load MLP weights and architecture.
+
+Models are stored as NumPy ``.npz`` archives holding the architecture
+metadata plus every layer's weight matrix and bias, so a trained network
+survives a process restart — needed for the longer paper-scale runs and
+for comparing checkpoints across training methods.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .network import MLP
+
+__all__ = ["save_mlp", "load_mlp"]
+
+_FORMAT_VERSION = 1
+
+
+def save_mlp(net: MLP, path: Union[str, Path]) -> Path:
+    """Serialise a network to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "layer_sizes": list(net.layer_sizes),
+        "hidden_activation": net.hidden_activation.name,
+        "output_activation": net.output_activation.name,
+    }
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    for i, layer in enumerate(net.layers):
+        arrays[f"W{i}"] = layer.W
+        arrays[f"b{i}"] = layer.b
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_mlp(path: Union[str, Path]) -> MLP:
+    """Load a network saved by :func:`save_mlp`.
+
+    Raises ``ValueError`` for missing/corrupt archives or unknown format
+    versions.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        if "meta" not in archive:
+            raise ValueError(f"{path} is not a saved MLP (no meta entry)")
+        meta = json.loads(archive["meta"].tobytes().decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {meta.get('format_version')!r}"
+            )
+        net = MLP(
+            meta["layer_sizes"],
+            hidden_activation=meta["hidden_activation"],
+            output_activation=meta["output_activation"],
+            seed=0,
+        )
+        for i, layer in enumerate(net.layers):
+            w = archive[f"W{i}"]
+            b = archive[f"b{i}"]
+            if w.shape != layer.W.shape or b.shape != layer.b.shape:
+                raise ValueError(f"layer {i} shape mismatch in {path}")
+            layer.W = w.copy()
+            layer.b = b.copy()
+    return net

@@ -1,0 +1,119 @@
+"""Tests for the uniform and top-k baseline estimators."""
+
+import numpy as np
+import pytest
+
+from repro.approx.baselines import (
+    topk_multiply,
+    uniform_bernoulli_multiply,
+    uniform_multiply,
+)
+from repro.approx.bernoulli import bernoulli_multiply
+from repro.approx.drineas import cr_multiply
+
+
+@pytest.fixture
+def skewed(rng):
+    """Matrices with strongly skewed column norms (baselines suffer)."""
+    a = rng.normal(size=(6, 24)) * np.logspace(0, 2, 24)
+    b = rng.normal(size=(24, 6))
+    return a, b
+
+
+class TestUniformCR:
+    def test_unbiased(self, skewed):
+        a, b = skewed
+        exact = a @ b
+        acc = np.zeros_like(exact)
+        for t in range(1200):
+            acc += uniform_multiply(a, b, 6, np.random.default_rng(t))
+        err = np.linalg.norm(acc / 1200 - exact, "fro") / np.linalg.norm(exact, "fro")
+        assert err < 0.25
+
+    def test_higher_variance_than_optimal(self, skewed):
+        a, b = skewed
+        exact = a @ b
+
+        def mse(fn):
+            errs = [
+                np.linalg.norm(exact - fn(np.random.default_rng(t)), "fro") ** 2
+                for t in range(300)
+            ]
+            return np.mean(errs)
+
+        uni = mse(lambda r: uniform_multiply(a, b, 6, r))
+        opt = mse(lambda r: cr_multiply(a, b, 6, r))
+        assert opt < uni
+
+
+class TestUniformBernoulli:
+    def test_full_budget_exact(self, skewed, rng):
+        a, b = skewed
+        np.testing.assert_allclose(
+            uniform_bernoulli_multiply(a, b, 24, rng), a @ b, atol=1e-9
+        )
+
+    def test_unbiased(self, skewed):
+        a, b = skewed
+        exact = a @ b
+        acc = np.zeros_like(exact)
+        for t in range(1500):
+            acc += uniform_bernoulli_multiply(a, b, 8, np.random.default_rng(t))
+        err = np.linalg.norm(acc / 1500 - exact, "fro") / np.linalg.norm(exact, "fro")
+        assert err < 0.3
+
+    def test_higher_variance_than_eq7(self, skewed):
+        a, b = skewed
+        exact = a @ b
+
+        def mse(fn):
+            errs = [
+                np.linalg.norm(exact - fn(np.random.default_rng(t)), "fro") ** 2
+                for t in range(300)
+            ]
+            return np.mean(errs)
+
+        uni = mse(lambda r: uniform_bernoulli_multiply(a, b, 8, r))
+        opt = mse(lambda r: bernoulli_multiply(a, b, 8, r))
+        assert opt < uni
+
+    @pytest.mark.parametrize("k", [0, 25])
+    def test_invalid_k(self, k, skewed, rng):
+        a, b = skewed
+        with pytest.raises(ValueError):
+            uniform_bernoulli_multiply(a, b, k, rng)
+
+
+class TestTopK:
+    def test_deterministic(self, skewed):
+        a, b = skewed
+        np.testing.assert_array_equal(
+            topk_multiply(a, b, 5), topk_multiply(a, b, 5)
+        )
+
+    def test_full_budget_exact(self, skewed):
+        a, b = skewed
+        np.testing.assert_allclose(topk_multiply(a, b, 24), a @ b, atol=1e-9)
+
+    def test_biased_towards_heavy_pairs(self, skewed):
+        """Top-k keeps the dominant mass: error far below keeping the
+        lightest pairs would give."""
+        a, b = skewed
+        exact = a @ b
+        err = np.linalg.norm(exact - topk_multiply(a, b, 8), "fro")
+        # With log-spaced norms, the top third carries almost everything.
+        assert err / np.linalg.norm(exact, "fro") < 0.5
+
+    def test_error_monotone_in_k(self, skewed):
+        a, b = skewed
+        exact = a @ b
+        errs = [
+            np.linalg.norm(exact - topk_multiply(a, b, k), "fro")
+            for k in (2, 6, 12, 18, 24)
+        ]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_invalid_k(self, skewed):
+        a, b = skewed
+        with pytest.raises(ValueError):
+            topk_multiply(a, b, 0)

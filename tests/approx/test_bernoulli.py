@@ -1,0 +1,112 @@
+"""Statistical tests for the Adelman Bernoulli estimator (paper §6.2, Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.approx.bernoulli import (
+    bernoulli_multiply,
+    bernoulli_probabilities,
+    bernoulli_sample,
+    expected_error_frobenius,
+)
+
+
+@pytest.fixture
+def matrices(rng):
+    a = rng.normal(size=(6, 25))
+    b = rng.normal(size=(25, 5))
+    return a, b
+
+
+class TestProbabilities:
+    def test_budget(self, matrices):
+        a, b = matrices
+        for k in (1, 5, 12, 25):
+            assert bernoulli_probabilities(a, b, k).sum() == pytest.approx(k)
+
+    def test_full_budget_keeps_everything(self, matrices):
+        a, b = matrices
+        np.testing.assert_allclose(bernoulli_probabilities(a, b, 25), 1.0)
+
+
+class TestSampling:
+    def test_kept_count_near_budget(self, matrices):
+        a, b = matrices
+        probs = bernoulli_probabilities(a, b, 10)
+        counts = [
+            bernoulli_sample(probs, np.random.default_rng(t))[0].size
+            for t in range(400)
+        ]
+        assert np.mean(counts) == pytest.approx(10, abs=0.5)
+
+    def test_scales_are_inverse_probabilities(self, matrices, rng):
+        a, b = matrices
+        probs = bernoulli_probabilities(a, b, 8)
+        idx, scales = bernoulli_sample(probs, rng)
+        np.testing.assert_allclose(scales, 1.0 / probs[idx])
+
+    def test_invalid_probs(self, rng):
+        with pytest.raises(ValueError):
+            bernoulli_sample(np.array([0.5, 1.5]), rng)
+
+
+class TestEstimator:
+    def test_full_budget_is_exact(self, matrices, rng):
+        """With k = n every p_i = 1: the estimate IS the exact product."""
+        a, b = matrices
+        np.testing.assert_allclose(
+            bernoulli_multiply(a, b, 25, rng), a @ b, atol=1e-10
+        )
+
+    def test_unbiased(self, matrices):
+        a, b = matrices
+        exact = a @ b
+        acc = np.zeros_like(exact)
+        n_trials = 800
+        for t in range(n_trials):
+            acc += bernoulli_multiply(a, b, 6, np.random.default_rng(t))
+        err = np.linalg.norm(acc / n_trials - exact, "fro") / np.linalg.norm(
+            exact, "fro"
+        )
+        assert err < 0.12
+
+    def test_empirical_error_matches_formula(self, matrices):
+        a, b = matrices
+        exact = a @ b
+        probs = bernoulli_probabilities(a, b, 8)
+        predicted = expected_error_frobenius(a, b, probs)
+        errors = []
+        for t in range(600):
+            est = bernoulli_multiply(a, b, 8, np.random.default_rng(t + 5_000))
+            errors.append(np.linalg.norm(exact - est, "fro") ** 2)
+        assert float(np.mean(errors)) == pytest.approx(predicted, rel=0.15)
+
+    def test_error_decreases_with_budget(self, matrices):
+        a, b = matrices
+        errs = [
+            expected_error_frobenius(a, b, bernoulli_probabilities(a, b, k))
+            for k in (2, 5, 10, 20, 25)
+        ]
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_eq7_beats_uniform_bernoulli(self, rng):
+        """The Eq. 7 distribution minimises the expected error under the
+        budget constraint — uniform keep-probabilities must be worse."""
+        a = rng.normal(size=(5, 30)) * np.logspace(0, 2, 30)
+        b = rng.normal(size=(30, 5))
+        k = 6
+        opt = expected_error_frobenius(a, b, bernoulli_probabilities(a, b, k))
+        uni = expected_error_frobenius(a, b, np.full(30, k / 30))
+        assert opt < uni
+
+    def test_empty_draw_returns_zeros(self, rng):
+        a = np.ones((2, 3))
+        b = np.ones((3, 2))
+        # Force impossible probabilities via explicit probs ≈ 0.
+        out = bernoulli_multiply(a, b, 1, rng, probs=np.full(3, 1e-12))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            bernoulli_multiply(np.ones((2, 3)), np.ones((4, 2)), 2, rng)

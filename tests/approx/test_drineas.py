@@ -1,0 +1,119 @@
+"""Statistical tests for the Drineas CR estimator (paper §6.1, Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.approx.drineas import (
+    cr_decomposition,
+    cr_multiply,
+    expected_error_frobenius,
+    optimal_probabilities,
+)
+
+
+@pytest.fixture
+def matrices(rng):
+    a = rng.normal(size=(8, 30))
+    b = rng.normal(size=(30, 6))
+    return a, b
+
+
+class TestProbabilities:
+    def test_normalised(self, matrices):
+        a, b = matrices
+        assert optimal_probabilities(a, b).sum() == pytest.approx(1.0)
+
+    def test_proportional_to_norm_products(self, matrices):
+        a, b = matrices
+        p = optimal_probabilities(a, b)
+        scores = np.linalg.norm(a, axis=0) * np.linalg.norm(b, axis=1)
+        np.testing.assert_allclose(p, scores / scores.sum())
+
+
+class TestCRDecomposition:
+    def test_shapes(self, matrices, rng):
+        a, b = matrices
+        c_factor, r_factor, idx = cr_decomposition(a, b, 12, rng)
+        assert c_factor.shape == (8, 12)
+        assert r_factor.shape == (12, 6)
+        assert idx.shape == (12,)
+
+    def test_full_budget_exactness_impossible_but_unbiased(self, matrices):
+        """Even with c = n the with-replacement estimator is random, but its
+        mean converges to AB."""
+        a, b = matrices
+        exact = a @ b
+        est = np.zeros_like(exact)
+        n_trials = 600
+        for t in range(n_trials):
+            est += cr_multiply(a, b, 30, np.random.default_rng(t))
+        mean = est / n_trials
+        rel = np.linalg.norm(mean - exact, "fro") / np.linalg.norm(exact, "fro")
+        assert rel < 0.05
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            cr_decomposition(rng.normal(size=(2, 3)), rng.normal(size=(4, 2)), 2, rng)
+
+    def test_bad_probs_shape(self, matrices, rng):
+        a, b = matrices
+        with pytest.raises(ValueError):
+            cr_decomposition(a, b, 4, rng, probs=np.ones(5) / 5)
+
+
+class TestUnbiasedness:
+    def test_mean_converges_to_exact(self, matrices):
+        a, b = matrices
+        exact = a @ b
+        n_trials = 800
+        acc = np.zeros_like(exact)
+        for t in range(n_trials):
+            acc += cr_multiply(a, b, 5, np.random.default_rng(t))
+        mean = acc / n_trials
+        err = np.linalg.norm(mean - exact, "fro") / np.linalg.norm(exact, "fro")
+        assert err < 0.12
+
+
+class TestVariance:
+    def test_empirical_error_matches_formula(self, matrices):
+        """E‖AB − CR‖_F² must match the closed form within MC noise."""
+        a, b = matrices
+        exact = a @ b
+        c = 8
+        predicted = expected_error_frobenius(a, b, c)
+        n_trials = 500
+        errors = []
+        for t in range(n_trials):
+            est = cr_multiply(a, b, c, np.random.default_rng(t + 10_000))
+            errors.append(np.linalg.norm(exact - est, "fro") ** 2)
+        empirical = float(np.mean(errors))
+        assert empirical == pytest.approx(predicted, rel=0.15)
+
+    def test_error_shrinks_like_one_over_c(self, matrices):
+        a, b = matrices
+        e5 = expected_error_frobenius(a, b, 5)
+        e10 = expected_error_frobenius(a, b, 10)
+        e20 = expected_error_frobenius(a, b, 20)
+        assert e10 == pytest.approx(e5 / 2, rel=1e-9)
+        assert e20 == pytest.approx(e5 / 4, rel=1e-9)
+
+    def test_optimal_probs_beat_uniform(self, rng):
+        """Eq. 6 minimises expected error: uniform must be no better."""
+        # Skewed norms make the gap pronounced.
+        a = rng.normal(size=(6, 20)) * np.logspace(0, 2, 20)
+        b = rng.normal(size=(20, 6))
+        uniform = np.full(20, 1 / 20)
+        assert expected_error_frobenius(a, b, 5) <= expected_error_frobenius(
+            a, b, 5, probs=uniform
+        )
+
+    def test_zero_prob_on_nonzero_score_is_infinite(self, matrices):
+        a, b = matrices
+        probs = np.full(30, 1 / 29)
+        probs[0] = 0.0
+        assert expected_error_frobenius(a, b, 5, probs=probs) == float("inf")
+
+    def test_invalid_c(self, matrices):
+        a, b = matrices
+        with pytest.raises(ValueError):
+            expected_error_frobenius(a, b, 0)

@@ -1,0 +1,73 @@
+"""Tests for the unified approx_matmul front door."""
+
+import numpy as np
+import pytest
+
+from repro.approx.interface import METHODS, approx_matmul, frobenius_error
+
+
+@pytest.fixture
+def matrices(rng):
+    return rng.normal(size=(5, 20)), rng.normal(size=(20, 4))
+
+
+class TestDispatch:
+    def test_exact(self, matrices):
+        a, b = matrices
+        np.testing.assert_allclose(approx_matmul(a, b, 5, "exact"), a @ b)
+
+    @pytest.mark.parametrize(
+        "method", [m for m in METHODS if m != "exact"]
+    )
+    def test_all_methods_produce_right_shape(self, method, matrices, rng):
+        a, b = matrices
+        out = approx_matmul(a, b, 8, method, rng)
+        assert out.shape == (5, 4)
+
+    def test_unknown_method(self, matrices):
+        a, b = matrices
+        with pytest.raises(ValueError, match="unknown method"):
+            approx_matmul(a, b, 5, "magic")
+
+    def test_default_rng_created(self, matrices):
+        a, b = matrices
+        out = approx_matmul(a, b, 8, "bernoulli", rng=None)
+        assert out.shape == (5, 4)
+
+    @pytest.mark.parametrize("method", ["drineas", "bernoulli", "topk"])
+    def test_error_decreases_with_budget(self, method, matrices):
+        """Across the budget sweep, average relative error must shrink."""
+        a, b = matrices
+        exact = a @ b
+
+        def mean_error(budget):
+            errs = [
+                frobenius_error(
+                    exact, approx_matmul(a, b, budget, method, np.random.default_rng(t))
+                )
+                for t in range(60)
+            ]
+            return np.mean(errs)
+
+        assert mean_error(16) < mean_error(2)
+
+
+class TestFrobeniusError:
+    def test_zero_for_identical(self, matrices):
+        a, b = matrices
+        assert frobenius_error(a @ b, a @ b) == 0.0
+
+    def test_relative_scale(self):
+        exact = np.eye(2)
+        est = np.zeros((2, 2))
+        assert frobenius_error(exact, est) == pytest.approx(1.0)
+
+    def test_zero_exact_nonzero_estimate(self):
+        assert frobenius_error(np.zeros((2, 2)), np.ones((2, 2))) == float("inf")
+
+    def test_zero_exact_zero_estimate(self):
+        assert frobenius_error(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frobenius_error(np.zeros((2, 2)), np.zeros((3, 2)))

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic datasets and networks."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec
+from repro.nn.network import MLP
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small, easy 3-class image dataset (fast to train on)."""
+    spec = SyntheticSpec(
+        name="tiny",
+        shape=(1, 8, 8),
+        n_classes=3,
+        n_train=240,
+        n_test=90,
+        n_val=30,
+        noise=1.0,
+        class_spread=1.5,
+        max_shift=0,
+    )
+    return spec.generate(seed=7)
+
+
+@pytest.fixture(scope="session")
+def hard_dataset():
+    """A harder 5-class dataset where methods separate."""
+    spec = SyntheticSpec(
+        name="hard",
+        shape=(1, 12, 12),
+        n_classes=5,
+        n_train=400,
+        n_test=150,
+        n_val=50,
+        noise=3.0,
+        class_spread=1.0,
+        max_shift=1,
+    )
+    return spec.generate(seed=11)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_net():
+    """A 2-hidden-layer MLP sized for the tiny dataset."""
+    return MLP([64, 32, 32, 3], seed=0)

@@ -1,0 +1,64 @@
+"""Tests for Trainer.fit extras: early stopping (+ schedule interplay)."""
+
+import numpy as np
+import pytest
+
+from repro.core.standard import StandardTrainer
+from repro.nn.network import MLP
+
+
+class TestEarlyStopping:
+    def test_requires_validation_split(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 8, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        with pytest.raises(ValueError, match="validation"):
+            trainer.fit(
+                tiny_dataset.x_train, tiny_dataset.y_train,
+                epochs=3, early_stopping_patience=1,
+            )
+
+    def test_invalid_patience(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 8, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        with pytest.raises(ValueError, match="patience"):
+            trainer.fit(
+                tiny_dataset.x_train, tiny_dataset.y_train, epochs=3,
+                x_val=tiny_dataset.x_val, y_val=tiny_dataset.y_val,
+                early_stopping_patience=0,
+            )
+
+    def test_stops_when_no_progress(self, tiny_dataset):
+        """With lr so small that accuracy never moves, patience triggers."""
+        net = MLP([tiny_dataset.input_dim, 8, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-12, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=20,
+            batch_size=20,
+            x_val=tiny_dataset.x_val, y_val=tiny_dataset.y_val,
+            early_stopping_patience=2,
+        )
+        # First epoch sets the best; two stagnant epochs then stop.
+        assert len(history.epochs) <= 4
+
+    def test_runs_to_completion_when_improving(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 24, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=5,
+            batch_size=10,
+            x_val=tiny_dataset.x_val, y_val=tiny_dataset.y_val,
+            early_stopping_patience=5,
+        )
+        assert len(history.epochs) == 5
+
+    def test_history_truncated_consistently(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 8, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-12, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=20,
+            batch_size=20,
+            x_val=tiny_dataset.x_val, y_val=tiny_dataset.y_val,
+            early_stopping_patience=2,
+        )
+        assert history.losses().shape[0] == len(history.epochs)
+        assert np.isfinite(history.val_accuracies()).all()

@@ -1,0 +1,99 @@
+"""Tests for the STANDARD (exact) trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.standard import StandardTrainer
+from repro.nn.network import MLP
+
+
+class TestSingleStep:
+    def test_matches_manual_sgd_step(self, rng):
+        """One train_batch must equal a hand-computed exact SGD step."""
+        net = MLP([6, 5, 3], seed=0)
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, 4)
+        reference = MLP([6, 5, 3], seed=0)
+        grads = reference.backward(reference.forward(x), y)
+        lr = 0.05
+        expected = [
+            (layer.W - lr * g_w, layer.b - lr * g_b)
+            for layer, (g_w, g_b) in zip(reference.layers, grads)
+        ]
+        trainer = StandardTrainer(net, lr=lr, optimizer="sgd", seed=1)
+        trainer.train_batch(x, y)
+        for layer, (w_exp, b_exp) in zip(net.layers, expected):
+            np.testing.assert_allclose(layer.W, w_exp, atol=1e-12)
+            np.testing.assert_allclose(layer.b, b_exp, atol=1e-12)
+
+    def test_returns_pre_update_loss(self, rng):
+        net = MLP([6, 3], seed=0)
+        x = rng.normal(size=(2, 6))
+        y = np.array([0, 1])
+        expected = net.loss(x, y)
+        trainer = StandardTrainer(net, lr=0.1)
+        assert trainer.train_batch(x, y) == pytest.approx(expected)
+
+
+class TestFit:
+    def test_loss_decreases(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 32, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=5, batch_size=20
+        )
+        losses = history.losses()
+        assert losses[-1] < losses[0]
+
+    def test_learns_above_chance(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 32, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        trainer.fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=8, batch_size=10
+        )
+        acc = trainer.evaluate(tiny_dataset.x_test, tiny_dataset.y_test)
+        assert acc > 0.6  # chance is 1/3
+
+    def test_history_bookkeeping(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 16, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train,
+            tiny_dataset.y_train,
+            epochs=3,
+            batch_size=20,
+            x_val=tiny_dataset.x_val,
+            y_val=tiny_dataset.y_val,
+        )
+        assert history.method == "standard"
+        assert len(history.epochs) == 3
+        assert (history.epoch_times() > 0).all()
+        assert (history.forward_times() >= 0).all()
+        assert (history.backward_times() >= 0).all()
+        assert not np.isnan(history.val_accuracies()).any()
+        assert history.total_time == pytest.approx(history.epoch_times().sum())
+
+    def test_phase_times_bounded_by_epoch_time(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 16, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=2, batch_size=10
+        )
+        for e in history.epochs:
+            assert e.forward_time + e.backward_time <= e.time + 1e-6
+
+    def test_invalid_epochs(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 8, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=0.1)
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_dataset.x_train, tiny_dataset.y_train, epochs=0)
+
+    def test_stochastic_regime(self, tiny_dataset):
+        """batch_size=1 runs one update per sample (paper's S setting)."""
+        net = MLP([tiny_dataset.input_dim, 16, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-3, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train[:50], tiny_dataset.y_train[:50],
+            epochs=1, batch_size=1,
+        )
+        assert len(history.epochs) == 1

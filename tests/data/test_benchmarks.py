@@ -1,0 +1,84 @@
+"""Tests that the six benchmarks match the paper's §8.2 specification."""
+
+import numpy as np
+import pytest
+
+from repro.data.benchmarks import (
+    BENCHMARKS,
+    benchmark_names,
+    get_benchmark_spec,
+    load_benchmark,
+)
+
+# (name, shape, classes, train, test, val) exactly as in the paper.
+PAPER_SPECS = [
+    ("mnist", (1, 28, 28), 10, 55_000, 10_000, 5_000),
+    ("kuzushiji", (1, 28, 28), 10, 55_000, 10_000, 5_000),
+    ("fashion", (1, 28, 28), 10, 55_000, 10_000, 5_000),
+    ("emnist_letters", (1, 28, 28), 26, 104_800, 20_000, 20_000),
+    ("norb", (1, 96, 96), 5, 22_300, 24_300, 2_000),
+    ("cifar10", (3, 32, 32), 10, 45_000, 10_000, 5_000),
+]
+
+
+def test_all_six_present():
+    assert benchmark_names() == [s[0] for s in PAPER_SPECS]
+
+
+@pytest.mark.parametrize("name,shape,classes,train,test,val", PAPER_SPECS)
+def test_paper_split_sizes(name, shape, classes, train, test, val):
+    spec = get_benchmark_spec(name)
+    assert spec.shape == shape
+    assert spec.n_classes == classes
+    assert spec.n_train == train
+    assert spec.n_test == test
+    assert spec.n_val == val
+
+
+def test_unknown_benchmark():
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        get_benchmark_spec("imagenet")
+
+
+class TestLoading:
+    def test_scaled_load(self):
+        d = load_benchmark("mnist", scale=0.002, seed=0)
+        assert d.n_train == 110
+        assert d.input_dim == 784
+        assert d.n_classes == 10
+
+    def test_full_scale_spec_preserved(self):
+        # Don't generate the full dataset; just check scale=1.0 wiring via
+        # a benchmarks-level invariant: spec is returned unscaled.
+        spec = get_benchmark_spec("norb")
+        assert spec.n_train == 22_300
+
+    def test_deterministic(self):
+        a = load_benchmark("fashion", scale=0.002, seed=5)
+        b = load_benchmark("fashion", scale=0.002, seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_cifar_is_color(self):
+        d = load_benchmark("cifar10", scale=0.002, seed=0)
+        assert d.input_dim == 3 * 32 * 32
+        assert d.images("train").shape[1] == 3
+
+    def test_emnist_has_26_classes(self):
+        d = load_benchmark("emnist_letters", scale=0.003, seed=0)
+        assert d.n_classes == 26
+
+    def test_relative_difficulty_ordering(self):
+        """MNIST-like must be easier than CIFAR-like (nearest-class-mean)."""
+
+        def ncm(name):
+            d = load_benchmark(name, scale=0.01, seed=3)
+            means = np.stack(
+                [
+                    d.x_train[d.y_train == c].mean(axis=0)
+                    for c in range(d.n_classes)
+                ]
+            )
+            dists = ((d.x_test[:, None, :] - means[None]) ** 2).sum(axis=2)
+            return (dists.argmin(axis=1) == d.y_test).mean()
+
+        assert ncm("mnist") > ncm("cifar10")

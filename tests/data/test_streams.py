@@ -1,0 +1,124 @@
+"""Tests for the concept-drift stream."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import DriftingStream
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"dim": 1},
+            {"n_classes": 1},
+            {"batch_size": 0},
+            {"drift_per_batch": -0.1},
+            {"noise": -1.0},
+        ],
+    )
+    def test_invalid_args(self, kw):
+        defaults = dict(dim=8, n_classes=3)
+        defaults.update(kw)
+        with pytest.raises(ValueError):
+            DriftingStream(**defaults)
+
+
+class TestEmission:
+    def test_batch_shapes(self):
+        stream = DriftingStream(dim=10, n_classes=4, batch_size=16, seed=0)
+        x, y = stream.next_batch()
+        assert x.shape == (16, 10)
+        assert y.shape == (16,)
+        assert ((y >= 0) & (y < 4)).all()
+
+    def test_deterministic(self):
+        a = DriftingStream(dim=6, n_classes=3, seed=5)
+        b = DriftingStream(dim=6, n_classes=3, seed=5)
+        xa, ya = a.next_batch()
+        xb, yb = b.next_batch()
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_iterator_protocol(self):
+        stream = DriftingStream(dim=6, n_classes=3, seed=0)
+        it = iter(stream)
+        next(it)
+        next(it)
+        assert stream.batches_emitted == 2
+
+    def test_learnable_at_any_time(self):
+        """Nearest-prototype classification beats chance on eval batches,
+        before and after heavy drift."""
+        stream = DriftingStream(dim=12, n_classes=4, drift_per_batch=0.05, seed=1)
+
+        def ncm_accuracy():
+            protos = stream.prototypes() * 3.0
+            x, y = stream.eval_batch(300)
+            d = ((x[:, None, :] - protos[None]) ** 2).sum(axis=2)
+            return (d.argmin(axis=1) == y).mean()
+
+        assert ncm_accuracy() > 0.6
+        for _ in range(200):
+            stream.next_batch()
+        assert ncm_accuracy() > 0.6
+
+
+class TestDrift:
+    def test_no_drift_keeps_prototypes(self):
+        stream = DriftingStream(dim=8, n_classes=3, drift_per_batch=0.0, seed=0)
+        before = stream.prototypes()
+        for _ in range(20):
+            stream.next_batch()
+        np.testing.assert_array_equal(stream.prototypes(), before)
+
+    def test_drift_moves_prototypes(self):
+        stream = DriftingStream(dim=8, n_classes=3, drift_per_batch=0.05, seed=0)
+        before = stream.prototypes()
+        for _ in range(50):
+            stream.next_batch()
+        after = stream.prototypes()
+        # 50 steps of 0.05 rad: prototypes have rotated substantially.
+        cos = (before * after).sum(axis=1)
+        assert (cos < 0.95).all()
+
+    def test_prototypes_stay_unit(self):
+        stream = DriftingStream(dim=8, n_classes=3, drift_per_batch=0.1, seed=2)
+        for _ in range(100):
+            stream.next_batch()
+        np.testing.assert_allclose(
+            np.linalg.norm(stream.prototypes(), axis=1), 1.0, atol=1e-9
+        )
+
+    def test_drift_rate_controls_speed(self):
+        def displacement(rate):
+            stream = DriftingStream(dim=8, n_classes=3, drift_per_batch=rate, seed=3)
+            before = stream.prototypes()
+            for _ in range(30):
+                stream.next_batch()
+            cos = (before * stream.prototypes()).sum(axis=1).mean()
+            return 1.0 - cos
+
+        assert displacement(0.05) > displacement(0.005)
+
+    def test_frozen_model_decays_under_drift(self):
+        """The headline property: a model trained at t=0 loses accuracy as
+        the distribution rotates away from it."""
+        from repro.core.standard import StandardTrainer
+        from repro.nn.network import MLP
+
+        stream = DriftingStream(
+            dim=16, n_classes=4, batch_size=20, drift_per_batch=0.04, seed=4
+        )
+        net = MLP([16, 32, 4], seed=0)
+        trainer = StandardTrainer(net, lr=5e-2, seed=1)
+        for _ in range(80):
+            x, y = stream.next_batch()
+            trainer.train_batch(x, y)
+        x0, y0 = stream.eval_batch(300)
+        acc_now = (trainer.predict(x0) == y0).mean()
+        for _ in range(250):  # distribution rotates, model frozen
+            stream.next_batch()
+        x1, y1 = stream.eval_batch(300)
+        acc_later = (trainer.predict(x1) == y1).mean()
+        assert acc_now > acc_later + 0.1

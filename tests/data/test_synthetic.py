@@ -1,0 +1,133 @@
+"""Tests for the synthetic benchmark generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import SyntheticSpec, make_prototypes
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        name="t",
+        shape=(1, 8, 8),
+        n_classes=4,
+        n_train=120,
+        n_test=60,
+        n_val=20,
+        noise=1.0,
+        class_spread=1.5,
+        max_shift=0,
+    )
+    defaults.update(kwargs)
+    return SyntheticSpec(**defaults)
+
+
+class TestPrototypes:
+    def test_shape(self, rng):
+        protos = make_prototypes(5, (2, 6, 6), rng)
+        assert protos.shape == (5, 2, 6, 6)
+
+    def test_spread_scales_magnitude(self, rng):
+        small = make_prototypes(3, (1, 8, 8), np.random.default_rng(0), class_spread=0.5)
+        large = make_prototypes(3, (1, 8, 8), np.random.default_rng(0), class_spread=2.0)
+        np.testing.assert_allclose(large, 4.0 * small)
+
+    def test_unit_rms_at_spread_one(self, rng):
+        protos = make_prototypes(3, (1, 10, 10), rng, class_spread=1.0)
+        rms = np.sqrt((protos**2).mean(axis=(1, 2, 3)))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-9)
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_prototypes(1, (1, 4, 4), rng)
+
+
+class TestGeneration:
+    def test_split_sizes(self):
+        d = _spec().generate(seed=0)
+        assert (d.n_train, d.n_test, d.n_val) == (120, 60, 20)
+
+    def test_deterministic(self):
+        a = _spec().generate(seed=3)
+        b = _spec().generate(seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = _spec().generate(seed=3)
+        b = _spec().generate(seed=4)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_training_split_standardised(self):
+        d = _spec().generate(seed=0)
+        np.testing.assert_allclose(d.x_train.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(d.x_train.std(axis=0), 1.0, atol=1e-9)
+
+    def test_all_classes_present(self):
+        d = _spec(n_train=400).generate(seed=1)
+        assert set(np.unique(d.y_train)) == set(range(4))
+
+    def test_zero_val_split_allowed(self):
+        d = _spec(n_val=0).generate(seed=0)
+        assert d.n_val == 0
+
+    def test_signal_exists(self):
+        """A nearest-class-mean classifier must beat chance comfortably."""
+        d = _spec(n_train=400, noise=1.0).generate(seed=2)
+        means = np.stack(
+            [d.x_train[d.y_train == c].mean(axis=0) for c in range(4)]
+        )
+        dists = ((d.x_test[:, None, :] - means[None]) ** 2).sum(axis=2)
+        acc = (dists.argmin(axis=1) == d.y_test).mean()
+        assert acc > 0.5
+
+    def test_noise_controls_difficulty(self):
+        """More noise ⇒ lower nearest-mean accuracy (ceteris paribus)."""
+
+        def ncm_accuracy(noise):
+            d = _spec(n_train=400, noise=noise).generate(seed=2)
+            means = np.stack(
+                [d.x_train[d.y_train == c].mean(axis=0) for c in range(4)]
+            )
+            dists = ((d.x_test[:, None, :] - means[None]) ** 2).sum(axis=2)
+            return (dists.argmin(axis=1) == d.y_test).mean()
+
+        assert ncm_accuracy(8.0) < ncm_accuracy(1.0)
+
+
+class TestScaled:
+    def test_scales_split_sizes(self):
+        spec = _spec(n_train=1000, n_test=500, n_val=100)
+        small = spec.scaled(0.1)
+        assert (small.n_train, small.n_test, small.n_val) == (100, 50, 10)
+
+    def test_keeps_class_minimum(self):
+        spec = _spec(n_train=1000, n_test=500, n_val=100)
+        tiny = spec.scaled(0.001)
+        assert tiny.n_train >= spec.n_classes
+        assert tiny.n_test >= spec.n_classes
+
+    def test_zero_val_stays_zero(self):
+        spec = _spec(n_val=0)
+        assert spec.scaled(0.5).n_val == 0
+
+    @pytest.mark.parametrize("frac", [0.0, 1.5, -0.1])
+    def test_invalid_fraction(self, frac):
+        with pytest.raises(ValueError):
+            _spec().scaled(frac)
+
+    @settings(max_examples=20)
+    @given(st.floats(0.01, 1.0))
+    def test_scaling_never_exceeds_original(self, frac):
+        spec = _spec(n_train=1000, n_test=500, n_val=100)
+        small = spec.scaled(frac)
+        assert small.n_train <= 1000
+        assert small.n_test <= 500
+
+
+class TestValidationErrors:
+    def test_negative_split(self):
+        with pytest.raises(ValueError):
+            _spec(n_train=0)

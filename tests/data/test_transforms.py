@@ -1,0 +1,81 @@
+"""Tests for feature/label transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import flatten_images, minmax_scale, one_hot, standardize
+
+
+class TestStandardize:
+    def test_train_statistics(self, rng):
+        x = rng.normal(3.0, 2.0, size=(50, 4))
+        (out,) = standardize(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_others_use_train_stats(self, rng):
+        x_train = rng.normal(5.0, 3.0, size=(100, 2))
+        x_test = rng.normal(5.0, 3.0, size=(40, 2))
+        tr, te = standardize(x_train, x_test)
+        # Reconstruct: te must be (x_test - mean_train) / std_train.
+        expected = (x_test - x_train.mean(axis=0)) / x_train.std(axis=0)
+        np.testing.assert_allclose(te, expected)
+
+    def test_constant_feature_no_nan(self):
+        x = np.ones((10, 3))
+        (out,) = standardize(x)
+        assert np.isfinite(out).all()
+
+
+class TestMinMax:
+    def test_unit_interval(self, rng):
+        x = rng.normal(size=(30, 5)) * 10
+        (out,) = minmax_scale(x)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_constant_feature_no_nan(self):
+        (out,) = minmax_scale(np.full((5, 2), 7.0))
+        assert np.isfinite(out).all()
+
+    def test_test_split_may_exceed_bounds(self, rng):
+        """Test data outside the training range maps outside [0, 1] —
+        that's correct behaviour (no leakage of test statistics)."""
+        x_train = np.linspace(0, 1, 10).reshape(-1, 1)
+        x_test = np.array([[2.0]])
+        _, te = minmax_scale(x_train, x_test)
+        assert te[0, 0] == pytest.approx(2.0)
+
+
+class TestOneHot:
+    def test_values(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rows_sum_to_one(self, rng):
+        labels = rng.integers(0, 7, 20)
+        assert (one_hot(labels, 7).sum(axis=1) == 1).all()
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_empty(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestFlatten:
+    def test_nchw(self, rng):
+        imgs = rng.normal(size=(5, 3, 4, 4))
+        flat = flatten_images(imgs)
+        assert flat.shape == (5, 48)
+
+    def test_nhw(self, rng):
+        imgs = rng.normal(size=(5, 4, 4))
+        assert flatten_images(imgs).shape == (5, 16)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            flatten_images(np.array(3.0))

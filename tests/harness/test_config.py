@@ -1,0 +1,90 @@
+"""Tests for ExperimentConfig and the §8.4 paper defaults."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ExperimentConfig()
+        assert cfg.method == "standard"
+        assert cfg.hidden_layers == 3
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("hidden_layers", -1),
+            ("hidden_width", 0),
+            ("epochs", 0),
+            ("batch_size", 0),
+            ("data_scale", 0.0),
+            ("data_scale", 1.5),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**{field: value})
+
+
+class TestLabels:
+    def test_stochastic_label(self):
+        cfg = ExperimentConfig(method="mc", batch_size=1)
+        assert cfg.is_stochastic
+        assert cfg.label() == "mc^S"
+
+    def test_minibatch_label(self):
+        cfg = ExperimentConfig(method="alsh", batch_size=20)
+        assert not cfg.is_stochastic
+        assert cfg.label() == "alsh^M"
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        base = ExperimentConfig()
+        changed = base.with_overrides(epochs=7)
+        assert changed.epochs == 7
+        assert base.epochs != 7 or base is not changed
+
+
+class TestPaperDefaults:
+    def test_alsh_uses_adam(self):
+        cfg = ExperimentConfig.paper_default("alsh")
+        assert cfg.optimizer == "adam"
+
+    def test_mc_stochastic_lr(self):
+        """§9.3: the overfitting fix lowers the stochastic MC lr to 1e-4."""
+        s = ExperimentConfig.paper_default("mc", batch_size=1)
+        m = ExperimentConfig.paper_default("mc", batch_size=20)
+        assert s.lr == pytest.approx(1e-4)
+        assert m.lr == pytest.approx(1e-3)
+        assert s.method_kwargs["k"] == 10
+
+    def test_dropout_keep_prob(self):
+        cfg = ExperimentConfig.paper_default("dropout")
+        assert cfg.method_kwargs["keep_prob"] == 0.05
+
+    def test_adaptive_target_keep(self):
+        cfg = ExperimentConfig.paper_default("adaptive_dropout")
+        assert cfg.method_kwargs["target_keep"] == 0.05
+
+    def test_standard_plain(self):
+        cfg = ExperimentConfig.paper_default("standard")
+        assert cfg.optimizer == "sgd"
+        assert cfg.method_kwargs == {}
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig.paper_default("slide")
+
+    def test_overrides_applied(self):
+        cfg = ExperimentConfig.paper_default("mc", hidden_layers=5, epochs=2)
+        assert cfg.hidden_layers == 5
+        assert cfg.epochs == 2
+        assert cfg.method_kwargs["k"] == 10
+
+    def test_method_kwargs_merge(self):
+        cfg = ExperimentConfig.paper_default(
+            "mc", method_kwargs={"node_frac": 0.2}
+        )
+        assert cfg.method_kwargs == {"k": 10, "node_frac": 0.2}

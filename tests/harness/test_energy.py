@@ -1,0 +1,50 @@
+"""Tests for the §11 energy model."""
+
+import pytest
+
+from repro.harness.energy import EnergyModel, estimate_training_energy
+
+ARCH = [128, 96, 96, 10]
+
+
+class TestValidation:
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(pj_per_flop=-1.0)
+
+
+class TestEstimates:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        return estimate_training_energy(ARCH, batch=1)
+
+    def test_all_methods_positive(self, estimates):
+        for method, e in estimates.items():
+            assert e.compute_j > 0, method
+            assert e.dram_j >= 0, method
+            assert e.total_j == pytest.approx(
+                e.compute_j + e.dram_j + e.cache_j
+            )
+
+    def test_dropout_cheapest_compute(self, estimates):
+        compute = {m: e.compute_j for m, e in estimates.items()}
+        assert compute["dropout"] == min(compute.values())
+
+    def test_energy_scales_with_flop_coefficient(self):
+        cheap = EnergyModel(pj_per_flop=1.0).estimate_step("standard", ARCH)
+        pricey = EnergyModel(pj_per_flop=10.0).estimate_step("standard", ARCH)
+        assert pricey.compute_j == pytest.approx(10 * cheap.compute_j)
+        assert pricey.dram_j == pytest.approx(cheap.dram_j)
+
+    def test_memory_bound_regime(self):
+        """With free arithmetic, the ordering is set by traffic: the
+        adaptive/dropout mask passes cost more than MC's row bands."""
+        model = EnergyModel(pj_per_flop=0.0)
+        est = estimate_training_energy(ARCH, batch=1, model=model)
+        assert est["mc"].total_j <= est["adaptive_dropout"].total_j + 1e-15
+
+    def test_topk_maps_to_sliced_trace(self):
+        """The oracle trainer reuses the column-sliced trace for traffic."""
+        model = EnergyModel()
+        e = model.estimate_step("topk", ARCH, batch=1, active_frac=0.2)
+        assert e.total_j > 0

@@ -1,0 +1,98 @@
+"""Tests for the analytical FLOP model."""
+
+import pytest
+
+from repro.harness.flops import (
+    StepFlops,
+    flops_table,
+    method_step_flops,
+    speedup_vs_standard,
+)
+
+ARCH = [784, 1000, 1000, 1000, 10]
+
+
+class TestStepFlops:
+    def test_total(self):
+        f = StepFlops(1.0, 2.0, 3.0)
+        assert f.total == 6.0
+
+    def test_add(self):
+        s = StepFlops(1, 2, 3) + StepFlops(10, 20, 30)
+        assert (s.forward, s.backward, s.overhead) == (11, 22, 33)
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            method_step_flops("slide", ARCH)
+
+    def test_short_arch(self):
+        with pytest.raises(ValueError):
+            method_step_flops("standard", [10])
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            method_step_flops("standard", ARCH, batch=0)
+
+
+class TestStandard:
+    def test_dominant_term_matches_theta_n_squared(self):
+        """For an n-wide layer the forward cost is ~2Bn² (§4.1)."""
+        n = 1000
+        f = method_step_flops("standard", [n, n], batch=1)
+        assert f.forward == pytest.approx(2 * n * n, rel=0.01)
+
+    def test_scales_linearly_in_batch(self):
+        f1 = method_step_flops("standard", ARCH, batch=1)
+        f20 = method_step_flops("standard", ARCH, batch=20)
+        # Updates are per-step, not per-sample, so growth is sub-linear
+        # but close to 20x for the matmul-dominated parts.
+        assert 15 < f20.forward / f1.forward <= 20.01
+
+    def test_backward_exceeds_forward(self):
+        """§10.1: backprop does more arithmetic than the feedforward."""
+        f = method_step_flops("standard", ARCH, batch=20)
+        assert f.backward > f.forward
+
+
+class TestPaperShapes:
+    def test_mc_slower_than_standard_at_batch_one(self):
+        """§9.3 in closed form: the probability passes make MC-approx a
+        net arithmetic loss at batch size 1."""
+        assert speedup_vs_standard("mc", ARCH, batch=1, k=10) < 1.0
+
+    def test_mc_faster_at_paper_batch(self):
+        assert speedup_vs_standard("mc", ARCH, batch=20, k=10) > 1.3
+
+    def test_dropout_has_biggest_arithmetic_saving(self):
+        table = flops_table(ARCH, batch=1, keep_prob=0.05, active_frac=0.2)
+        assert table["dropout"].total == min(
+            t.total for name, t in table.items()
+        )
+
+    def test_alsh_overhead_positive_but_saving_remains(self):
+        f = method_step_flops("alsh", ARCH, batch=1, active_frac=0.2)
+        assert f.overhead > 0
+        assert speedup_vs_standard("alsh", ARCH, batch=1, active_frac=0.2) > 1.5
+
+    def test_adaptive_dropout_never_saves(self):
+        """Standout computes every full product; overhead only (§9.2)."""
+        assert speedup_vs_standard("adaptive_dropout", ARCH, batch=1) <= 1.0
+
+    def test_topk_oracle_pays_selection(self):
+        """Oracle selection costs the full product: cheaper than standard
+        in total (the backward is sparse) but far above dropout."""
+        table = flops_table(ARCH, batch=1, keep_prob=0.2, active_frac=0.2)
+        assert table["dropout"].total < table["topk"].total < table["standard"].total
+
+    def test_mc_batch_dimension_budget_clipped(self):
+        """With batch < k the gW product is exact (inner dim = batch)."""
+        small = method_step_flops("mc", ARCH, batch=2, k=10)
+        # gW cost equals standard's at batch 2 since min(k, 2) = 2.
+        std = method_step_flops("standard", ARCH, batch=2)
+        assert small.backward < std.backward  # da sampling still saves
+
+    def test_unknown_kwargs_ignored(self):
+        f = method_step_flops("standard", ARCH, batch=1, keep_prob=0.5, k=3)
+        assert f.total > 0

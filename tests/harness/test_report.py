@@ -1,0 +1,78 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.harness.report import (
+    depth_sweep_table,
+    method_comparison_table,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def results(tiny_dataset):
+    out = []
+    for method, depth in [("standard", 1), ("standard", 2), ("mc", 1)]:
+        cfg = ExperimentConfig(
+            method=method, hidden_layers=depth, hidden_width=12,
+            epochs=1, batch_size=20, lr=1e-2, seed=0,
+        )
+        out.append(run_experiment(cfg, dataset=tiny_dataset))
+    return out
+
+
+class TestMethodComparison:
+    def test_one_row_per_method(self, results):
+        table = method_comparison_table(results)
+        lines = table.splitlines()
+        # header + separator + 2 methods (standard^M best-of, mc^M)
+        assert len(lines) == 4
+        assert "standard^M" in table
+        assert "mc^M" in table
+
+    def test_best_of_represents_method(self, results):
+        table = method_comparison_table(results)
+        best_std = max(
+            (r for r in results if r.config.method == "standard"),
+            key=lambda r: r.test_accuracy,
+        )
+        assert f"{best_std.test_accuracy:.4f}" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            method_comparison_table([])
+
+
+class TestDepthSweep:
+    def test_matrix_shape(self, results):
+        table = depth_sweep_table(results)
+        lines = table.splitlines()
+        assert lines[0].startswith("| hidden layers |")
+        assert len(lines) == 4  # header + sep + depths 1, 2
+
+    def test_missing_cells_dash(self, results):
+        # mc only ran at depth 1; depth-2 row shows '-' in the mc column.
+        table = depth_sweep_table(results)
+        depth2_row = [l for l in table.splitlines() if l.startswith("| 2 ")][0]
+        assert "-" in depth2_row
+
+
+class TestRenderReport:
+    def test_full_report(self, results):
+        report = render_report(results, title="Mini report")
+        assert report.startswith("# Mini report")
+        # Grouping is by the config's dataset field (the fixture passes
+        # tiny data under the default "mnist" config).
+        assert "## mnist" in report
+        assert "Accuracy vs depth" in report
+
+    def test_single_depth_omits_sweep(self, results):
+        only_depth1 = [r for r in results if r.config.hidden_layers == 1]
+        report = render_report(only_depth1)
+        assert "Accuracy vs depth" not in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_report([])

@@ -1,0 +1,92 @@
+"""Tests for the text table / confusion-matrix / series renderers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.reporting import (
+    format_markdown_table,
+    format_series,
+    format_table,
+    render_confusion,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["method", "acc"],
+            [["standard", 0.9512], ["mc", 0.9789]],
+            title="Table 2",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "method" in lines[1]
+        assert "0.9512" in text
+        assert "0.9789" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in text
+        assert "0.123456" not in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["a", "b"], [[1, 0.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 0.5000 |"
+
+
+class TestRenderConfusion:
+    def test_diagonal_matrix_reads_clean(self):
+        cm = np.diag([10, 10, 10])
+        text = render_confusion(cm, title="perfect")
+        assert "perfect" in text
+        assert "diagonal mass: 1.000" in text
+
+    def test_collapsed_predictions_visible(self):
+        """A §10.3-style collapse (everything predicted class 0) puts all
+        the mass in one column."""
+        cm = np.zeros((3, 3), dtype=int)
+        cm[:, 0] = 10
+        text = render_confusion(cm)
+        assert "diagonal mass: 0.333" in text
+
+    def test_empty_rows_safe(self):
+        cm = np.zeros((2, 2), dtype=int)
+        cm[0, 0] = 5
+        text = render_confusion(cm)
+        assert "diagonal mass" in text
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            render_confusion(np.zeros((2, 3)))
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series(
+            "layers",
+            [1, 2, 3],
+            {"standard": [0.9, 0.91, 0.92], "alsh": [0.9, 0.6, 0.3]},
+            title="Figure 7",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 7"
+        assert "layers" in lines[1]
+        assert "alsh" in lines[1]
+        assert "0.3000" in text
+
+    def test_ragged_series_padded(self):
+        text = format_series("x", [1, 2], {"s": [0.5]})
+        assert "-" in text.splitlines()[-1]

@@ -1,0 +1,70 @@
+"""Tests for experiment-result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.harness.results import ResultStore, result_from_dict, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def result(tiny_dataset):
+    cfg = ExperimentConfig(
+        method="standard", hidden_layers=1, hidden_width=16,
+        epochs=2, batch_size=20, lr=1e-2, seed=0,
+    )
+    return run_experiment(cfg, dataset=tiny_dataset)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.config == result.config
+        assert restored.test_accuracy == result.test_accuracy
+        np.testing.assert_array_equal(restored.confusion, result.confusion)
+        assert len(restored.history.epochs) == len(result.history.epochs)
+        assert restored.history.epochs[0].loss == result.history.epochs[0].loss
+
+    def test_json_serialisable(self, result):
+        import json
+
+        text = json.dumps(result_to_dict(result))
+        assert "standard" in text
+
+
+class TestStore:
+    def test_append_and_load(self, result, tmp_path):
+        store = ResultStore(tmp_path / "runs" / "results.jsonl")
+        store.append(result)
+        store.append(result)
+        loaded = store.load()
+        assert len(loaded) == 2
+        assert loaded[0].test_accuracy == result.test_accuracy
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "none.jsonl").load() == []
+
+    def test_find_filters(self, result, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(result)
+        assert len(store.find(method="standard")) == 1
+        assert store.find(method="mc") == []
+        assert len(store.find(dataset=result.config.dataset)) == 1
+        assert store.find(hidden_layers=99) == []
+
+    def test_best(self, result, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert store.best(method="standard") is None
+        store.append(result)
+        best = store.best(method="standard")
+        assert best is not None
+        assert best.test_accuracy == result.test_accuracy
+
+    def test_partial_lines_ignored(self, result, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(result)
+        with open(path, "a") as f:
+            f.write("\n")  # stray blank line
+        assert len(store.load()) == 1

@@ -1,0 +1,79 @@
+"""Tests for the roofline model."""
+
+import pytest
+
+from repro.harness.roofline import (
+    RooflineMachine,
+    RooflinePoint,
+    method_roofline,
+    roofline_table,
+)
+
+ARCH = [128, 160, 160, 10]
+SAMPLING = dict(keep_prob=0.05, active_frac=0.2, k=10)
+
+
+class TestMachine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RooflineMachine(peak_gflops=0.0)
+        with pytest.raises(ValueError):
+            RooflineMachine(bandwidth_gbs=-1.0)
+
+    def test_balance_point(self):
+        m = RooflineMachine(peak_gflops=40.0, bandwidth_gbs=20.0)
+        assert m.balance_point == pytest.approx(2.0)
+
+    def test_predicted_time_is_max_of_roofs(self):
+        m = RooflineMachine(peak_gflops=1.0, bandwidth_gbs=1.0)
+        # 2e9 flops at 1 GFLOP/s = 2s; 1e9 bytes at 1 GB/s = 1s → compute.
+        assert m.predicted_time(2e9, 1e9) == pytest.approx(2.0)
+        assert m.predicted_time(1e8, 3e9) == pytest.approx(3.0)
+
+
+class TestPoints:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return roofline_table(ARCH, batch=20, **SAMPLING)
+
+    def test_all_methods_present(self, table):
+        assert set(table) == {
+            "standard", "dropout", "adaptive_dropout", "mc", "alsh", "topk"
+        }
+
+    def test_positive_quantities(self, table):
+        for point in table.values():
+            assert point.flops > 0
+            assert point.traffic_bytes > 0
+            assert point.predicted_time_s > 0
+
+    def test_intensity_consistent(self, table):
+        p = table["standard"]
+        assert p.arithmetic_intensity == pytest.approx(
+            p.flops / p.traffic_bytes
+        )
+
+    def test_dropout_memory_bound(self, table):
+        """Column-sliced sampling guts the arithmetic but not the traffic:
+        the intensity drops below the balance point."""
+        assert not table["dropout"].compute_bound
+        assert table["dropout"].arithmetic_intensity < RooflineMachine().balance_point
+
+    def test_flop_saving_collapses_under_roofline(self, table):
+        """The headline: dropout's arithmetic speedup vastly exceeds its
+        roofline (wall-time) speedup — memory is the real wall (§1)."""
+        std, drop = table["standard"], table["dropout"]
+        flop_speedup = std.flops / drop.flops
+        time_speedup = std.predicted_time_s / drop.predicted_time_s
+        assert flop_speedup > 2 * time_speedup
+
+    def test_standard_compute_bound_at_width(self, table):
+        assert table["standard"].compute_bound
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            method_roofline("slide", ARCH)
+
+    def test_frozen_point(self, table):
+        with pytest.raises(Exception):
+            table["standard"].flops = 0.0

@@ -1,0 +1,40 @@
+"""Tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.harness.timing import Timer, time_callable
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+
+class TestTimeCallable:
+    def test_median_and_min(self):
+        median, best = time_callable(lambda: time.sleep(0.002), repeats=3)
+        assert best >= 0.0015
+        assert median >= best
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_function_actually_called(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4

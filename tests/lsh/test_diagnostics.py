@@ -1,0 +1,100 @@
+"""Tests for LSH index diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.diagnostics import (
+    BucketStats,
+    bucket_stats,
+    candidate_size_profile,
+    recall_at_k,
+)
+from repro.lsh.mips import MIPSIndex
+from repro.lsh.tables import LSHIndex
+
+
+@pytest.fixture
+def built_index(rng):
+    index = LSHIndex(16, n_bits=5, n_tables=4, seed=0)
+    index.build(rng.normal(size=(80, 16)))
+    return index
+
+
+class TestBucketStats:
+    def test_counts_consistent(self, built_index):
+        stats = bucket_stats(built_index)
+        assert stats.n_tables == 4
+        assert stats.n_items == 80
+        assert stats.total_buckets == 4 * 32
+        assert 0 < stats.occupied_buckets <= stats.total_buckets
+        assert 0.0 < stats.occupancy <= 1.0
+        assert stats.max_bucket <= 80
+        assert stats.mean_bucket > 0
+
+    def test_gini_bounds(self, built_index):
+        stats = bucket_stats(built_index)
+        assert 0.0 <= stats.gini < 1.0
+
+    def test_degenerate_collection_concentrates(self, rng):
+        """Identical vectors land in one bucket per table: occupancy
+        collapses and the max bucket holds everything."""
+        index = LSHIndex(8, n_bits=5, n_tables=3, seed=1)
+        index.build(np.tile(rng.normal(size=8), (40, 1)))
+        stats = bucket_stats(index)
+        assert stats.occupied_buckets == 3  # one per table
+        assert stats.max_bucket == 40
+
+    def test_empty_index(self):
+        index = LSHIndex(8, n_bits=4, n_tables=2, seed=0)
+        stats = bucket_stats(index)
+        assert stats.n_items == 0
+        assert stats.occupancy == 0.0
+        assert stats.gini == 0.0
+
+
+class TestRecall:
+    def test_more_tables_higher_recall(self, rng):
+        data = rng.normal(size=(100, 16))
+        queries = rng.normal(size=(15, 16))
+
+        def recall(n_tables):
+            index = MIPSIndex(16, n_bits=5, n_tables=n_tables, seed=2)
+            index.build(data)
+            return recall_at_k(index, data, queries, k=10)
+
+        assert recall(10) > recall(1)
+
+    def test_recall_bounds(self, rng):
+        data = rng.normal(size=(50, 12))
+        index = MIPSIndex(12, seed=3)
+        index.build(data)
+        r = recall_at_k(index, data, rng.normal(size=(10, 12)), k=5)
+        assert 0.0 <= r <= 1.0
+
+    def test_invalid_k(self, rng):
+        data = rng.normal(size=(10, 4))
+        index = MIPSIndex(4, seed=0)
+        index.build(data)
+        with pytest.raises(ValueError):
+            recall_at_k(index, data, rng.normal(size=(2, 4)), k=11)
+
+
+class TestCandidateProfile:
+    def test_sizes_per_query(self, rng):
+        data = rng.normal(size=(60, 10))
+        index = MIPSIndex(10, n_bits=4, n_tables=5, seed=4)
+        index.build(data)
+        sizes = candidate_size_profile(index, rng.normal(size=(8, 10)))
+        assert sizes.shape == (8,)
+        assert ((sizes >= 0) & (sizes <= 60)).all()
+
+    def test_more_tables_bigger_candidates(self, rng):
+        data = rng.normal(size=(60, 10))
+        queries = rng.normal(size=(10, 10))
+
+        def mean_size(n_tables):
+            index = MIPSIndex(10, n_bits=4, n_tables=n_tables, seed=5)
+            index.build(data)
+            return candidate_size_profile(index, queries).mean()
+
+        assert mean_size(8) > mean_size(1)

@@ -1,0 +1,113 @@
+"""Unit and statistical tests for repro.lsh.srp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.srp import SignedRandomProjection, collision_probability
+
+
+class TestConstruction:
+    def test_bucket_count(self):
+        srp = SignedRandomProjection(8, 6, np.random.default_rng(0))
+        assert srp.n_buckets == 64
+
+    @pytest.mark.parametrize("bits", [0, 63, -1])
+    def test_invalid_bits(self, bits):
+        with pytest.raises(ValueError):
+            SignedRandomProjection(4, bits)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            SignedRandomProjection(0, 4)
+
+
+class TestHashing:
+    def test_codes_in_range(self, rng):
+        srp = SignedRandomProjection(10, 5, rng)
+        codes = srp.hash(rng.normal(size=(100, 10)))
+        assert ((codes >= 0) & (codes < 32)).all()
+
+    def test_deterministic(self, rng):
+        srp = SignedRandomProjection(10, 5, np.random.default_rng(3))
+        x = rng.normal(size=(20, 10))
+        np.testing.assert_array_equal(srp.hash(x), srp.hash(x))
+
+    def test_scale_invariance(self, rng):
+        """SimHash only sees direction: positive scaling can't change codes."""
+        srp = SignedRandomProjection(10, 6, rng)
+        x = rng.normal(size=(30, 10))
+        np.testing.assert_array_equal(srp.hash(x), srp.hash(7.5 * x))
+
+    def test_identical_vectors_always_collide(self, rng):
+        srp = SignedRandomProjection(10, 8, rng)
+        v = rng.normal(size=10)
+        assert srp.hash_one(v) == srp.hash_one(v.copy())
+
+    def test_opposite_vectors_never_collide(self, rng):
+        """Antipodal points differ in every bit (θ = π)."""
+        srp = SignedRandomProjection(10, 4, rng)
+        v = rng.normal(size=10)
+        sig_a = srp.signatures(v.reshape(1, -1))
+        sig_b = srp.signatures(-v.reshape(1, -1))
+        assert (sig_a != sig_b).all()
+
+    def test_wrong_dim_raises(self, rng):
+        srp = SignedRandomProjection(10, 4, rng)
+        with pytest.raises(ValueError):
+            srp.hash(rng.normal(size=(5, 7)))
+
+
+class TestCollisionProbability:
+    def test_identical(self):
+        v = np.array([1.0, 2.0])
+        assert collision_probability(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert collision_probability([1, 0], [0, 1]) == pytest.approx(0.5)
+
+    def test_antipodal(self):
+        assert collision_probability([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_k_bits_power(self):
+        p1 = collision_probability([1, 0], [1, 1], n_bits=1)
+        p4 = collision_probability([1, 0], [1, 1], n_bits=4)
+        assert p4 == pytest.approx(p1**4)
+
+    def test_zero_vector_is_half(self):
+        assert collision_probability([0, 0], [1, 0]) == pytest.approx(0.5)
+
+    def test_empirical_matches_analytic(self):
+        """Monte-Carlo check of Pr[collision] = (1 − θ/π)^K."""
+        rng = np.random.default_rng(0)
+        u = np.array([1.0, 0.0, 0.0])
+        v = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+        n_trials = 3000
+        hits = 0
+        for i in range(n_trials):
+            srp = SignedRandomProjection(3, 2, np.random.default_rng(i))
+            hits += srp.hash_one(u) == srp.hash_one(v)
+        empirical = hits / n_trials
+        analytic = collision_probability(u, v, n_bits=2)
+        assert empirical == pytest.approx(analytic, abs=0.03)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**6))
+    def test_probability_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        u, v = rng.normal(size=(2, 5))
+        p = collision_probability(u, v, n_bits=3)
+        assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**6))
+    def test_more_similar_more_likely(self, seed):
+        """Moving v towards u cannot reduce the collision probability."""
+        rng = np.random.default_rng(seed)
+        u = rng.normal(size=4)
+        v = rng.normal(size=4)
+        closer = 0.5 * (u / np.linalg.norm(u) + v / np.linalg.norm(v))
+        if np.linalg.norm(closer) < 1e-9:
+            return  # antipodal corner case
+        assert collision_probability(u, closer) >= collision_probability(u, v) - 1e-12

@@ -1,0 +1,76 @@
+"""Tests for the allocation tracker."""
+
+import pytest
+
+from repro.memsim.tracker import AllocationTracker, array_nbytes
+
+
+class TestArrayNBytes:
+    def test_2d(self):
+        assert array_nbytes((10, 20)) == 1600
+
+    def test_custom_itemsize(self):
+        assert array_nbytes((4,), itemsize=4) == 16
+
+
+class TestTracker:
+    def test_allocation_counters(self):
+        t = AllocationTracker()
+        t.allocate("a", 100)
+        t.allocate("b", 200)
+        assert t.current_bytes == 300
+        assert t.peak_bytes == 300
+        t.free("a")
+        assert t.current_bytes == 200
+        assert t.peak_bytes == 300
+        assert t.total_allocated == 300
+
+    def test_addresses_aligned_and_disjoint(self):
+        t = AllocationTracker(alignment=64)
+        base_a = t.allocate("a", 100)
+        base_b = t.allocate("b", 50)
+        assert base_a % 64 == 0
+        assert base_b % 64 == 0
+        assert base_b >= base_a + 100
+
+    def test_duplicate_name_rejected(self):
+        t = AllocationTracker()
+        t.allocate("a", 10)
+        with pytest.raises(ValueError, match="already live"):
+            t.allocate("a", 10)
+
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            AllocationTracker().free("ghost")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AllocationTracker().allocate("a", 0)
+
+    def test_base_and_size_lookup(self):
+        t = AllocationTracker()
+        base = t.allocate("weights", 4096)
+        assert t.base_of("weights") == base
+        assert t.size_of("weights") == 4096
+        assert t.live_names() == ["weights"]
+
+    def test_snapshot(self):
+        t = AllocationTracker()
+        t.allocate("a", 128)
+        snap = t.snapshot()
+        assert snap == {
+            "current_bytes": 128,
+            "peak_bytes": 128,
+            "total_allocated": 128,
+        }
+
+    def test_peak_tracks_high_water_mark(self):
+        t = AllocationTracker()
+        t.allocate("a", 500)
+        t.free("a")
+        t.allocate("b", 100)
+        assert t.peak_bytes == 500
+
+    def test_mlp_weight_bytes(self):
+        # 4->3->2: (4*3+3) + (3*2+2) = 23 scalars * 8 bytes.
+        assert AllocationTracker.mlp_weight_bytes([4, 3, 2]) == 23 * 8

@@ -1,0 +1,93 @@
+"""Unit tests for repro.nn.init."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    get_initializer,
+    he_normal,
+    he_uniform,
+    scaled_columns,
+    uniform,
+    xavier_normal,
+    xavier_uniform,
+    zeros,
+)
+
+ALL = [he_normal, he_uniform, xavier_normal, xavier_uniform, uniform, zeros]
+
+
+@pytest.mark.parametrize("init", ALL, ids=lambda f: f.__name__)
+def test_shapes(init, rng):
+    w = init(13, 7, rng)
+    assert w.shape == (13, 7)
+
+
+def test_he_normal_variance(rng):
+    n_in = 400
+    w = he_normal(n_in, 500, rng)
+    assert w.var() == pytest.approx(2.0 / n_in, rel=0.1)
+
+
+def test_xavier_normal_variance(rng):
+    n_in, n_out = 300, 200
+    w = xavier_normal(n_in, n_out, rng)
+    assert w.var() == pytest.approx(2.0 / (n_in + n_out), rel=0.1)
+
+
+def test_he_uniform_bounds(rng):
+    n_in = 50
+    w = he_uniform(n_in, 60, rng)
+    limit = np.sqrt(6.0 / n_in)
+    assert np.abs(w).max() <= limit
+
+
+def test_uniform_bounds(rng):
+    w = uniform(20, 20, rng)
+    assert np.abs(w).max() <= 0.05
+
+
+def test_zeros(rng):
+    assert not zeros(5, 5, rng).any()
+
+
+def test_deterministic_given_seed():
+    a = he_normal(10, 10, np.random.default_rng(42))
+    b = he_normal(10, 10, np.random.default_rng(42))
+    np.testing.assert_array_equal(a, b)
+
+
+class TestScaledColumns:
+    def test_all_column_norms_bounded(self, rng):
+        w = scaled_columns(100, 80, rng, max_norm=0.9)
+        norms = np.linalg.norm(w, axis=0)
+        assert (norms <= 0.9 + 1e-12).all()
+
+    def test_small_columns_untouched(self, rng):
+        # With a huge max_norm nothing should be rescaled.
+        w_raw = he_normal(10, 10, np.random.default_rng(5))
+        w = scaled_columns(10, 10, np.random.default_rng(5), max_norm=0.999999)
+        # Norms of he_normal(10,10) typically exceed 1, so most get scaled;
+        # instead check scaling preserves direction.
+        cos = np.sum(w * w_raw, axis=0) / (
+            np.linalg.norm(w, axis=0) * np.linalg.norm(w_raw, axis=0)
+        )
+        np.testing.assert_allclose(cos, 1.0, atol=1e-9)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_max_norm(self, bad, rng):
+        with pytest.raises(ValueError):
+            scaled_columns(4, 4, rng, max_norm=bad)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_initializer("he_normal") is he_normal
+
+    def test_callable_passthrough(self):
+        fn = lambda i, o, r: np.ones((i, o))
+        assert get_initializer(fn) is fn
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("orthogonal")

@@ -1,0 +1,127 @@
+"""Tests for learning-rate schedules and their Trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.standard import StandardTrainer
+from repro.nn.network import MLP
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialDecaySchedule,
+    StepDecaySchedule,
+    WarmupSchedule,
+    get_schedule,
+)
+
+
+class TestConstant:
+    def test_fixed(self):
+        s = ConstantSchedule(1e-3)
+        assert s(0) == s(100) == 1e-3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestStepDecay:
+    def test_halves_every_period(self):
+        s = StepDecaySchedule(1.0, factor=0.5, every=10)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(25) == 0.25
+
+    @pytest.mark.parametrize("kw", [{"factor": 0.0}, {"factor": 1.5}, {"every": 0}])
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(1.0, **kw)
+
+
+class TestExponential:
+    def test_geometric(self):
+        s = ExponentialDecaySchedule(1.0, decay=0.9)
+        assert s(0) == 1.0
+        assert s(2) == pytest.approx(0.81)
+
+    def test_monotone(self):
+        s = ExponentialDecaySchedule(1e-2, decay=0.8)
+        rates = [s(e) for e in range(10)]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        s = CosineSchedule(1.0, total_epochs=10, lr_min=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(0.1)
+        assert s(99) == pytest.approx(0.1)  # clamped past the horizon
+
+    def test_midpoint(self):
+        s = CosineSchedule(1.0, total_epochs=10, lr_min=0.0)
+        assert s(5) == pytest.approx(0.5)
+
+    def test_invalid_lr_min(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(0.1, total_epochs=5, lr_min=0.2)
+
+
+class TestWarmup:
+    def test_ramps_then_follows(self):
+        s = WarmupSchedule(ConstantSchedule(1.0), warmup_epochs=4)
+        assert s(0) == pytest.approx(0.25)
+        assert s(3) == pytest.approx(1.0)
+        assert s(10) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantSchedule(1.0), warmup_epochs=0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        s = get_schedule("cosine", 1e-2, total_epochs=5)
+        assert isinstance(s, CosineSchedule)
+
+    def test_callable_passthrough(self):
+        fn = lambda e: 0.1
+        assert get_schedule(fn, 1.0) is fn
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            get_schedule("cyclical", 1.0)
+
+
+class TestTrainerIntegration:
+    def test_schedule_drives_optimizer_lr(self, rng):
+        net = MLP([6, 8, 3], seed=0)
+        trainer = StandardTrainer(net, lr=1.0, seed=1)
+        seen = []
+
+        def spy(epoch):
+            rate = 0.1 / (epoch + 1)
+            seen.append(rate)
+            return rate
+
+        trainer.fit(
+            rng.normal(size=(20, 6)),
+            rng.integers(0, 3, 20),
+            epochs=3,
+            batch_size=10,
+            lr_schedule=spy,
+        )
+        assert seen == [0.1, 0.05, pytest.approx(0.1 / 3)]
+        assert trainer.optimizer.lr == pytest.approx(0.1 / 3)
+
+    def test_decaying_schedule_trains(self, tiny_dataset):
+        net = MLP([tiny_dataset.input_dim, 32, tiny_dataset.n_classes], seed=0)
+        trainer = StandardTrainer(net, lr=1e-2, seed=1)
+        history = trainer.fit(
+            tiny_dataset.x_train,
+            tiny_dataset.y_train,
+            epochs=6,
+            batch_size=10,
+            lr_schedule=CosineSchedule(1e-2, total_epochs=6),
+        )
+        assert history.losses()[-1] < history.losses()[0]

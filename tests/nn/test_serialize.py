@@ -1,0 +1,62 @@
+"""Tests for MLP serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import MLP
+from repro.nn.serialize import load_mlp, save_mlp
+
+
+class TestRoundTrip:
+    def test_weights_preserved(self, tmp_path, rng):
+        net = MLP([8, 6, 4], seed=3)
+        path = save_mlp(net, tmp_path / "model")
+        loaded = load_mlp(path)
+        assert loaded.layer_sizes == net.layer_sizes
+        for la, lb in zip(net.layers, loaded.layers):
+            np.testing.assert_array_equal(la.W, lb.W)
+            np.testing.assert_array_equal(la.b, lb.b)
+
+    def test_predictions_identical(self, tmp_path, rng):
+        net = MLP([8, 16, 3], seed=0)
+        x = rng.normal(size=(10, 8))
+        path = save_mlp(net, tmp_path / "model.npz")
+        loaded = load_mlp(path)
+        np.testing.assert_array_equal(net.predict(x), loaded.predict(x))
+
+    def test_activations_preserved(self, tmp_path):
+        net = MLP([4, 3, 2], hidden_activation="tanh", seed=0)
+        loaded = load_mlp(save_mlp(net, tmp_path / "m"))
+        assert loaded.hidden_activation.name == "tanh"
+
+    def test_suffix_appended(self, tmp_path):
+        path = save_mlp(MLP([4, 2], seed=0), tmp_path / "model")
+        assert path.suffix == ".npz"
+
+    def test_trained_model_round_trip(self, tmp_path, tiny_dataset):
+        from repro.core.standard import StandardTrainer
+
+        net = MLP([tiny_dataset.input_dim, 16, tiny_dataset.n_classes], seed=0)
+        StandardTrainer(net, lr=1e-2, seed=1).fit(
+            tiny_dataset.x_train, tiny_dataset.y_train, epochs=2, batch_size=20
+        )
+        loaded = load_mlp(save_mlp(net, tmp_path / "trained"))
+        np.testing.assert_array_equal(
+            net.predict(tiny_dataset.x_test), loaded.predict(tiny_dataset.x_test)
+        )
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mlp(tmp_path / "ghost.npz")
+
+    def test_not_a_model(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, x=np.zeros(3))
+        with pytest.raises(ValueError, match="not a saved MLP"):
+            load_mlp(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_mlp(MLP([4, 2], seed=0), tmp_path / "a" / "b" / "model")
+        assert path.exists()

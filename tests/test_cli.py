@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "standard"
+        assert args.dataset == "mnist"
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+
+class TestTheoryCommand:
+    def test_prints_paper_table(self, capsys):
+        assert main(["theory", "--c", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0.20" in out
+        assert "1.99" in out
+        assert "depth 4" in out
+
+
+class TestFlopsCommand:
+    def test_prints_speedups(self, capsys):
+        assert main(["flops", "--arch", "100", "200", "10", "--batch", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs standard" in out
+        assert "mc" in out
+
+
+class TestDatasetsCommand:
+    def test_lists_all_six(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mnist", "kuzushiji", "fashion", "emnist_letters",
+                     "norb", "cifar10"):
+            assert name in out
+        assert "104800" in out  # EMNIST train size from the paper
+
+
+class TestRunCommand:
+    def test_run_and_store_and_save(self, capsys, tmp_path):
+        store = tmp_path / "results.jsonl"
+        model = tmp_path / "model.npz"
+        code = main(
+            [
+                "run",
+                "--method", "standard",
+                "--data-scale", "0.003",
+                "--hidden-layers", "1",
+                "--hidden-width", "16",
+                "--epochs", "1",
+                "--lr", "1e-2",
+                "--store", str(store),
+                "--save-model", str(model),
+                "--confusion",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acc=" in out
+        assert "(predicted)" in out  # confusion matrix rendered
+        assert store.exists()
+        assert model.exists()
+        # The stored result must load back.
+        from repro.harness.results import ResultStore
+
+        assert len(ResultStore(store).load()) == 1
+        # The saved model must load back.
+        from repro.nn.serialize import load_mlp
+
+        net = load_mlp(model)
+        assert net.layer_sizes[0] == 784
+
+    def test_paper_defaults_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "mc",
+                "--paper-defaults",
+                "--data-scale", "0.003",
+                "--hidden-layers", "1",
+                "--hidden-width", "16",
+                "--epochs", "1",
+            ]
+        )
+        assert code == 0
+        assert "mc^M" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_two_methods(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--data-scale", "0.003",
+                "--hidden-layers", "1",
+                "--hidden-width", "16",
+                "--epochs", "1",
+                "--methods", "standard", "mc",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "standard^M" in out
+        assert "mc^M" in out

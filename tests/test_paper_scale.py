@@ -1,0 +1,69 @@
+"""Opt-in paper-scale smoke tests.
+
+Skipped by default (they allocate hundreds of MB and train width-1000
+networks); enable with::
+
+    REPRO_RUN_SLOW=1 pytest tests/test_paper_scale.py -q
+
+They verify the claims that only hold at realistic scale: the paper-sized
+dataset splits generate correctly, and MC-approx^M beats STANDARD^M per
+epoch at the paper's width (Table 4's headline).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import MLP, load_benchmark, make_trainer
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW"),
+    reason="paper-scale test; set REPRO_RUN_SLOW=1 to run",
+)
+
+
+@slow
+def test_full_size_mnist_generates():
+    data = load_benchmark("mnist", scale=1.0, seed=0)
+    assert data.n_train == 55_000
+    assert data.n_test == 10_000
+    assert data.n_val == 5_000
+    assert data.input_dim == 784
+    # All classes present and roughly balanced.
+    counts = np.bincount(data.y_train, minlength=10)
+    assert counts.min() > 4_000
+
+
+@slow
+def test_mc_beats_standard_at_paper_width():
+    data = load_benchmark("mnist", scale=0.01, seed=0)
+    subset = 400
+
+    def epoch_time(method, **kw):
+        net = MLP([data.input_dim, 1000, 1000, 1000, data.n_classes], seed=0)
+        trainer = make_trainer(method, net, lr=1e-3, seed=1, **kw)
+        history = trainer.fit(
+            data.x_train[:subset], data.y_train[:subset],
+            epochs=1, batch_size=20,
+        )
+        return history.total_time
+
+    t_mc = min(epoch_time("mc", k=10) for _ in range(2))
+    t_std = min(epoch_time("standard") for _ in range(2))
+    assert t_mc < t_std
+
+
+@slow
+def test_alsh_paper_hyperparameters_train():
+    """K=6, L=5, m=3, Adam — the full §8.4 setting at width 1000."""
+    data = load_benchmark("mnist", scale=0.005, seed=0)
+    net = MLP([data.input_dim, 1000, data.n_classes], seed=0)
+    trainer = make_trainer(
+        "alsh", net, lr=1e-3, optimizer="adam", seed=1,
+        n_bits=6, n_tables=5, m=3,
+    )
+    trainer.fit(data.x_train[:100], data.y_train[:100], epochs=1, batch_size=1)
+    fracs = trainer.average_active_fraction()
+    assert (fracs > 0).all()
+    assert (fracs <= trainer.max_active_frac + 1e-9).all()
