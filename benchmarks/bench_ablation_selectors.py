@@ -12,7 +12,7 @@ oracle collapses (it does), LSH recall is exonerated and the paper's
 conclusion stands: feedforward approximation itself is the obstacle.
 """
 
-from conftest import train_and_eval
+from conftest import run_bench_grid
 
 from repro.harness.reporting import format_series
 
@@ -31,20 +31,24 @@ VARIANTS = [
 
 
 def run_sweep(mnist):
+    # Depth × selector grid through the executor; one task per cell.
+    specs = [
+        dict(
+            label=label,
+            method=method,
+            depth=depth,
+            batch=1,
+            lr=1e-3,
+            epochs=EPOCHS,
+            max_train=MAX_TRAIN,
+            **kwargs,
+        )
+        for depth in DEPTHS
+        for label, method, kwargs in VARIANTS
+    ]
     series = {label: [] for label, _, _ in VARIANTS}
-    for depth in DEPTHS:
-        for label, method, kwargs in VARIANTS:
-            _, _, acc = train_and_eval(
-                method,
-                mnist,
-                depth=depth,
-                batch=1,
-                lr=1e-3,
-                epochs=EPOCHS,
-                max_train=MAX_TRAIN,
-                **kwargs,
-            )
-            series[label].append(acc)
+    for result in run_bench_grid(specs, mnist):
+        series[result["label"]].append(result["accuracy"])
     return series
 
 

@@ -7,7 +7,7 @@ proportionally more epochs so every configuration is trained to a
 comparable point).
 """
 
-from conftest import train_and_eval
+from conftest import run_bench_grid
 
 from repro.harness.reporting import format_series
 
@@ -21,30 +21,36 @@ def _minibatch_epochs(depth: int) -> int:
 
 
 def run_fig7(mnist):
-    series = {"standard^M": [], "mc^M": [], "alsh": []}
+    # The whole 3-method × 7-depth grid fans out through the executor.
+    specs = []
     for depth in DEPTHS:
         for method, kwargs in (("standard", {}), ("mc", {"k": 10})):
-            _, _, acc = train_and_eval(
-                method,
-                mnist,
-                depth=depth,
-                batch=20,
-                lr=1e-2,
-                epochs=_minibatch_epochs(depth),
-                **kwargs,
+            specs.append(
+                dict(
+                    label=f"{method}^M",
+                    method=method,
+                    depth=depth,
+                    batch=20,
+                    lr=1e-2,
+                    epochs=_minibatch_epochs(depth),
+                    **kwargs,
+                )
             )
-            series[f"{method}^M"].append(acc)
-        _, _, acc = train_and_eval(
-            "alsh",
-            mnist,
-            depth=depth,
-            batch=1,
-            lr=1e-3,
-            epochs=ALSH_EPOCHS,
-            max_train=ALSH_MAX_TRAIN,
-            optimizer="adam",
+        specs.append(
+            dict(
+                label="alsh",
+                method="alsh",
+                depth=depth,
+                batch=1,
+                lr=1e-3,
+                epochs=ALSH_EPOCHS,
+                max_train=ALSH_MAX_TRAIN,
+                optimizer="adam",
+            )
         )
-        series["alsh"].append(acc)
+    series = {"standard^M": [], "mc^M": [], "alsh": []}
+    for result in run_bench_grid(specs, mnist):
+        series[result["label"]].append(result["accuracy"])
     return series
 
 

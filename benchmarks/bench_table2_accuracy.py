@@ -6,7 +6,7 @@ recovers; ALSH-approx lands between Dropout and the leaders; STANDARD wins
 the CIFAR-10-like (hardest) benchmark.
 """
 
-from conftest import PAPER_SETTINGS, train_and_eval
+from conftest import PAPER_SETTINGS, run_bench_grid
 
 from repro.harness.reporting import format_table
 
@@ -27,24 +27,29 @@ MINIBATCH_EPOCHS = 10
 
 
 def run_table2(all_benchmarks):
+    # One executor fan-out per dataset: the 6 method-settings of a row
+    # train concurrently, bitwise-equal to the old serial loop.
     table = {}
     for name, data in all_benchmarks.items():
-        row = {}
+        specs = []
         for column in METHOD_COLUMNS:
             method, batch, lr, kwargs = PAPER_SETTINGS[column]
             stochastic = batch == 1
-            _, _, acc = train_and_eval(
-                method,
-                data,
-                depth=3,
-                batch=batch,
-                lr=lr,
-                epochs=STOCHASTIC_EPOCHS if stochastic else MINIBATCH_EPOCHS,
-                max_train=MAX_TRAIN_STOCHASTIC if stochastic else None,
-                **kwargs,
+            specs.append(
+                dict(
+                    label=column,
+                    method=method,
+                    depth=3,
+                    batch=batch,
+                    lr=lr,
+                    epochs=STOCHASTIC_EPOCHS if stochastic else MINIBATCH_EPOCHS,
+                    max_train=MAX_TRAIN_STOCHASTIC if stochastic else None,
+                    **kwargs,
+                )
             )
-            row[column] = acc
-        table[name] = row
+        table[name] = {
+            r["label"]: r["accuracy"] for r in run_bench_grid(specs, data)
+        }
     return table
 
 

@@ -9,15 +9,25 @@ sensitivity bites — reproduce the paper's.
 Run with:  pytest benchmarks/ --benchmark-only
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import MLP, load_benchmark, make_trainer
+from repro.harness.executor import ExecutorError, ExperimentExecutor
 
 # Laptop-scale knobs shared by all benches.
 DATA_SCALE = 0.01
 WIDTH = 64
 EPOCHS = 2
+
+# Worker processes for executor-backed benches.  Training is bit-
+# deterministic per spec seed, so the results are identical at any worker
+# count; the default uses a few cores to cut bench wall-clock.
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
+)
 
 
 @pytest.fixture(scope="session")
@@ -63,6 +73,44 @@ def train_and_eval(
     )
     acc = trainer.evaluate(data.x_test, data.y_test)
     return trainer, history, acc
+
+
+def bench_task(spec, dataset):
+    """Executor task: one :func:`train_and_eval` call described by a dict.
+
+    Returns plain JSON-safe metrics so outcomes can stream to a JSONL sink;
+    ``label`` is carried through untouched for the caller's bookkeeping.
+    """
+    kwargs = dict(spec)
+    label = kwargs.pop("label", None)
+    method = kwargs.pop("method")
+    _, history, acc = train_and_eval(method, dataset, **kwargs)
+    return {
+        "label": label,
+        "accuracy": float(acc),
+        "final_loss": float(history.losses()[-1]),
+        "train_time": float(history.total_time),
+    }
+
+
+def run_bench_grid(specs, dataset, workers=BENCH_WORKERS):
+    """Fan ``train_and_eval`` specs across worker processes.
+
+    Specs are dicts of :func:`train_and_eval` keyword arguments plus
+    ``method`` (and an optional ``label``).  Results come back in spec
+    order regardless of scheduling, and equal the serial run bit-for-bit
+    (per-spec seeds, nothing derived from workers).
+    """
+    executor = ExperimentExecutor(
+        max_workers=workers, retries=0, task_fn=bench_task
+    )
+    outcomes = executor.run(list(specs), dataset=dataset)
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        raise ExecutorError(
+            "; ".join((o.error or "").strip().splitlines()[-1] for o in failures)
+        )
+    return [o.result for o in outcomes]
 
 
 # §8.4 settings per method: (batch regime, lr, trainer kwargs).

@@ -8,6 +8,10 @@ Commands
 ``compare``
     Train several methods on one dataset and print a Table 2-style
     comparison.
+``sweep``
+    Fan a methods × depths grid out across worker processes through the
+    fault-tolerant executor, streaming outcomes to a resumable JSONL file
+    (``--workers``, ``--timeout``, ``--resume``).
 ``theory``
     Print the §7 error-propagation table for a given c.
 ``flops``
@@ -72,6 +76,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=["standard", "dropout", "adaptive_dropout", "alsh", "mc"],
     )
     compare.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a methods x depths grid through the executor"
+    )
+    sweep.add_argument(
+        "--methods",
+        nargs="+",
+        default=["standard", "dropout", "adaptive_dropout", "alsh", "mc"],
+    )
+    sweep.add_argument("--depths", type=int, nargs="+", default=[1, 3, 5])
+    sweep.add_argument("--dataset", default="mnist", choices=benchmark_names())
+    sweep.add_argument("--data-scale", type=float, default=0.02)
+    sweep.add_argument("--hidden-width", type=int, default=100)
+    sweep.add_argument("--epochs", type=int, default=3)
+    sweep.add_argument("--batch-size", type=int, default=20)
+    sweep.add_argument("--lr", type=float, default=1e-3)
+    sweep.add_argument("--optimizer", default="sgd")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--paper-defaults", action="store_true",
+                       help="apply the §8.4 method defaults per grid point")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-task wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retries per failing task")
+    sweep.add_argument("--reseed", type=int, default=None,
+                       help="derive per-task seeds from this root seed")
+    sweep.add_argument("--store", required=True,
+                       help="JSONL outcome sink (enables --resume)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip tasks already completed in --store")
 
     theory = sub.add_parser("theory", help="print the §7 error table")
     theory.add_argument("--c", type=float, default=5.0,
@@ -171,6 +207,72 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .harness.executor import ExperimentExecutor
+    from .harness.sweeps import Sweep
+
+    base = ExperimentConfig(
+        dataset=args.dataset,
+        data_scale=args.data_scale,
+        hidden_width=args.hidden_width,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        optimizer=args.optimizer,
+        seed=args.seed,
+    )
+    sweep = Sweep(
+        base,
+        {"method": args.methods, "hidden_layers": args.depths},
+        paper_defaults=args.paper_defaults,
+    )
+    configs = list(sweep.configs())
+    print(
+        f"sweep: {len(configs)} configurations "
+        f"({len(args.methods)} methods x {len(args.depths)} depths), "
+        f"{args.workers} worker(s), sink {args.store}"
+    )
+
+    def on_outcome(outcome):
+        cfg = configs[outcome.index]
+        if outcome.ok:
+            print(f"  [{outcome.status}] {outcome.result.summary()}")
+        else:
+            reason = (outcome.error or "").strip().splitlines()[-1]
+            print(
+                f"  [{outcome.status}] {cfg.label()} depth={cfg.hidden_layers} "
+                f"after {outcome.attempts} attempt(s): {reason}"
+            )
+
+    executor = ExperimentExecutor(
+        max_workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        sink=args.store,
+    )
+    outcomes = executor.run(
+        configs, resume=args.resume, reseed=args.reseed, callback=on_outcome
+    )
+    rows = []
+    for outcome, cfg in zip(outcomes, configs):
+        acc = outcome.result.test_accuracy if outcome.ok else float("nan")
+        rows.append(
+            [cfg.label(), cfg.hidden_layers, outcome.status, outcome.attempts, acc]
+        )
+    print(
+        format_table(
+            ["method", "depth", "status", "attempts", "accuracy"],
+            rows,
+            title=f"sweep on {args.dataset} (results in {args.store})",
+        )
+    )
+    failed = sum(not o.ok for o in outcomes)
+    if failed:
+        print(f"{failed}/{len(outcomes)} tasks failed; "
+              f"re-run with --resume to retry them")
+    return 1 if failed else 0
+
+
 def _cmd_theory(args) -> int:
     table = error_ratio_table(c=args.c, max_k=args.max_k)
     print(
@@ -230,6 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "theory": _cmd_theory,
         "flops": _cmd_flops,
         "datasets": _cmd_datasets,

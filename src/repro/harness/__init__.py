@@ -3,9 +3,23 @@ analytical FLOP/energy models and result persistence."""
 
 from .config import ExperimentConfig
 from .energy import EnergyEstimate, EnergyModel, estimate_training_energy
+from .executor import (
+    ExecutorError,
+    ExperimentExecutor,
+    JsonlSink,
+    TaskOutcome,
+    derive_task_seeds,
+)
 from .experiment import ExperimentResult, build_network, run_experiment
 from .flops import StepFlops, flops_table, method_step_flops, speedup_vs_standard
-from .parallel import ALSH_PHASES, PhaseProfile, projected_time, speedup_curve
+from .parallel import (
+    ALSH_PHASES,
+    PhaseProfile,
+    fit_from_measurements,
+    measured_vs_projected,
+    projected_time,
+    speedup_curve,
+)
 from .recommend import Recommendation, recommend_method
 from .report import depth_sweep_table, method_comparison_table, render_report
 from .reporting import (
@@ -44,6 +58,13 @@ __all__ = [
     "ALSH_PHASES",
     "projected_time",
     "speedup_curve",
+    "fit_from_measurements",
+    "measured_vs_projected",
+    "ExperimentExecutor",
+    "ExecutorError",
+    "JsonlSink",
+    "TaskOutcome",
+    "derive_task_seeds",
     "Recommendation",
     "recommend_method",
     "ResultStore",

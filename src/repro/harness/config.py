@@ -9,7 +9,7 @@ MC-approx, keep probability 0.05 for the dropout family.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional
 
 __all__ = ["ExperimentConfig"]
@@ -60,6 +60,16 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def key(self) -> str:
+        """A stable identity string covering every field.
+
+        Sweeps and the executor's result sink use this to match a stored
+        result back to its configuration, so resume works across runs.
+        """
+        payload = asdict(self)
+        payload["method_kwargs"] = sorted(payload["method_kwargs"].items())
+        return repr(sorted(payload.items()))
 
     @classmethod
     def paper_default(

@@ -2,10 +2,12 @@
 
 The paper's evaluation is a grid: methods × datasets × depths × batch
 sizes.  :class:`Sweep` expands such a grid into configs, runs them through
-:func:`~repro.harness.experiment.run_experiment`, streams results into a
-:class:`~repro.harness.results.ResultStore`, and — because the grid is
-hours of compute at full scale — skips configurations whose results are
-already stored, so an interrupted sweep resumes where it stopped.
+the fault-tolerant :class:`~repro.harness.executor.ExperimentExecutor`
+(serially by default, across worker processes with ``workers > 1``),
+streams results into a :class:`~repro.harness.results.ResultStore`, and —
+because the grid is hours of compute at full scale — skips configurations
+whose results are already stored, so an interrupted sweep resumes where it
+stopped.
 """
 
 from __future__ import annotations
@@ -16,7 +18,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..data.datasets import Dataset
 from .config import ExperimentConfig
-from .experiment import ExperimentResult, run_experiment
+from .executor import ExecutorError, ExperimentExecutor
+from .experiment import ExperimentResult
 from .results import ResultStore
 
 __all__ = ["Sweep"]
@@ -94,12 +97,20 @@ class Sweep:
         dataset: Optional[Dataset] = None,
         resume: bool = True,
         callback: Optional[Callable[[ExperimentResult], None]] = None,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
     ) -> List[ExperimentResult]:
         """Run every grid point; returns all results (stored + fresh).
 
         With ``store`` and ``resume=True``, configurations whose exact
         config already appears in the store are skipped and the stored
-        result is returned in their place.
+        result is returned in their place.  ``workers``, ``timeout`` and
+        ``retries`` are forwarded to the
+        :class:`~repro.harness.executor.ExperimentExecutor` that runs the
+        fresh configurations; result order is the grid order regardless of
+        worker scheduling.  Raises :class:`ExecutorError` if any
+        configuration still fails after its retries.
         """
         if isinstance(store, str):
             store = ResultStore(store)
@@ -108,22 +119,45 @@ class Sweep:
             for result in store.load():
                 done[self._key(result.config)] = result
 
-        results: List[ExperimentResult] = []
-        for cfg in self.configs():
-            key = self._key(cfg)
-            if key in done:
-                results.append(done[key])
-                continue
-            result = run_experiment(cfg, dataset=dataset)
-            if store is not None:
-                store.append(result)
-            if callback is not None:
-                callback(result)
-            results.append(result)
-        return results
+        configs = list(self.configs())
+        results: List[Optional[ExperimentResult]] = [None] * len(configs)
+        fresh: List[int] = []
+        for i, cfg in enumerate(configs):
+            stored = done.get(self._key(cfg))
+            if stored is not None:
+                results[i] = stored
+            else:
+                fresh.append(i)
+        if fresh:
+            def on_outcome(outcome):
+                if not outcome.ok:
+                    return
+                if store is not None:
+                    store.append(outcome.result)
+                if callback is not None:
+                    callback(outcome.result)
+
+            executor = ExperimentExecutor(
+                max_workers=workers, timeout=timeout, retries=retries
+            )
+            outcomes = executor.run(
+                [configs[i] for i in fresh], dataset=dataset, callback=on_outcome
+            )
+            failures = [o for o in outcomes if not o.ok]
+            if failures:
+                detail = "; ".join(
+                    f"{configs[fresh[o.index]].label()}: [{o.status}] "
+                    f"{(o.error or '').strip().splitlines()[-1]}"
+                    for o in failures
+                )
+                raise ExecutorError(
+                    f"{len(failures)}/{len(fresh)} sweep configurations "
+                    f"failed: {detail}"
+                )
+            for i, outcome in zip(fresh, outcomes):
+                results[i] = outcome.result
+        return results  # type: ignore[return-value]
 
     @staticmethod
     def _key(cfg: ExperimentConfig) -> str:
-        payload = asdict(cfg)
-        payload["method_kwargs"] = sorted(payload["method_kwargs"].items())
-        return repr(sorted(payload.items()))
+        return cfg.key()

@@ -1,0 +1,168 @@
+"""Finite-difference verification of every hand-written gradient.
+
+The repo deliberately has no autograd (the sampling methods work *inside*
+the matrix products), so the exact backward passes are the ground truth
+every approximation is compared against — they must be provably right.
+These tests check, by central differences in float64:
+
+* ``MLP.backward`` for every hidden activation in ``repro.nn.activations``
+  (ReLU's kink is measure-zero under the random continuous inputs used);
+* every loss gradient in ``repro.nn.losses``, including the fused
+  log-softmax + NLL logit gradient the trainers consume;
+* the conv substrate: ``Conv2D`` gradients w.r.t. kernels, bias and input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import LogSoftmax
+from repro.nn.conv import Conv2D
+from repro.nn.losses import CrossEntropyLoss, MSELoss, NLLLoss
+from repro.nn.network import MLP
+
+EPS = 1e-6
+TOL = 1e-5
+
+# Hidden activations with a usable element-wise derivative (log_softmax is
+# output-only by design: its Jacobian is not diagonal).
+HIDDEN_ACTIVATIONS = [
+    "relu", "leaky_relu", "sigmoid", "tanh", "identity", "softplus",
+]
+
+
+def numerical_gradient(f, param):
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``param``.
+
+    ``param`` is perturbed in place element by element (the nets here are
+    tiny, so the O(size) function evaluations stay cheap).
+    """
+    grad = np.zeros_like(param)
+    flat = param.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + EPS
+        hi = f()
+        flat[i] = original - EPS
+        lo = f()
+        flat[i] = original
+        gflat[i] = (hi - lo) / (2 * EPS)
+    return grad
+
+
+def relative_error(analytic, numeric):
+    scale = max(np.abs(analytic).max(), np.abs(numeric).max(), 1e-8)
+    return np.abs(analytic - numeric).max() / scale
+
+
+class TestMLPBackward:
+    @pytest.mark.parametrize("activation", HIDDEN_ACTIVATIONS)
+    def test_weight_and_bias_gradients(self, activation):
+        rng = np.random.default_rng(42)
+        net = MLP([6, 5, 4, 3], hidden_activation=activation, seed=0)
+        x = rng.normal(size=(7, 6))
+        y = rng.integers(0, 3, size=7)
+
+        grads = net.backward(net.forward(x), y)
+        for layer, (g_w, g_b) in zip(net.layers, grads):
+            num_w = numerical_gradient(lambda: net.loss(x, y), layer.W)
+            num_b = numerical_gradient(lambda: net.loss(x, y), layer.b)
+            assert relative_error(g_w, num_w) < TOL, activation
+            assert relative_error(g_b, num_b) < TOL, activation
+
+    def test_deep_relu_network(self):
+        """Depth compounds any systematic gradient error; check at k=4."""
+        rng = np.random.default_rng(3)
+        net = MLP([5, 4, 4, 4, 4, 3], seed=1)
+        x = rng.normal(size=(5, 5))
+        y = rng.integers(0, 3, size=5)
+        grads = net.backward(net.forward(x), y)
+        for layer, (g_w, _) in zip(net.layers, grads):
+            num_w = numerical_gradient(lambda: net.loss(x, y), layer.W)
+            assert relative_error(g_w, num_w) < TOL
+
+
+class TestLossGradients:
+    def _check(self, loss, output, target):
+        analytic = loss.gradient(output, target)
+        numeric = numerical_gradient(lambda: loss.value(output, target), output)
+        assert relative_error(analytic, numeric) < TOL
+
+    def test_nll(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        logp = LogSoftmax().forward(logits)
+        self._check(NLLLoss(), logp, rng.integers(0, 4, size=6))
+
+    def test_cross_entropy(self):
+        rng = np.random.default_rng(1)
+        self._check(
+            CrossEntropyLoss(),
+            rng.normal(size=(6, 4)),
+            rng.integers(0, 4, size=6),
+        )
+
+    def test_mse(self):
+        rng = np.random.default_rng(2)
+        self._check(
+            MSELoss(), rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        )
+
+    def test_fused_logit_gradient(self):
+        """The gradient the trainers actually consume: d NLL/d logits."""
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(6, 4))
+        y = rng.integers(0, 4, size=6)
+        analytic = NLLLoss.fused_logit_gradient(logits, y)
+        numeric = numerical_gradient(
+            lambda: NLLLoss().value(LogSoftmax().forward(logits), y), logits
+        )
+        assert relative_error(analytic, numeric) < TOL
+
+
+class TestConvGradients:
+    """Conv2D under a fixed linear readout: loss = sum(out * R)."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.conv = Conv2D(2, 3, field=3, stride=1, pad=1, rng=rng)
+        self.x = rng.normal(size=(2, 2, 6, 6))
+        self.readout = rng.normal(size=(2, 3, 6, 6))
+
+    def _loss(self):
+        return float((self.conv.forward(self.x) * self.readout).sum())
+
+    def test_kernel_gradients(self):
+        self._loss()
+        self.conv.backward(self.readout)
+        analytic = self.conv.grad_kernels.copy()
+        numeric = numerical_gradient(self._loss, self.conv.kernels)
+        assert relative_error(analytic, numeric) < TOL
+
+    def test_bias_gradients(self):
+        self._loss()
+        self.conv.backward(self.readout)
+        analytic = self.conv.grad_bias.copy()
+        numeric = numerical_gradient(self._loss, self.conv.bias)
+        assert relative_error(analytic, numeric) < TOL
+
+    def test_input_gradients(self):
+        self._loss()
+        analytic = self.conv.backward(self.readout)
+        numeric = numerical_gradient(self._loss, self.x)
+        assert relative_error(analytic, numeric) < TOL
+
+    def test_strided_no_pad_kernels(self):
+        rng = np.random.default_rng(9)
+        conv = Conv2D(1, 2, field=2, stride=2, pad=0, rng=rng)
+        x = rng.normal(size=(1, 1, 6, 6))
+        readout = rng.normal(size=(1, 2, 3, 3))
+
+        def loss():
+            return float((conv.forward(x) * readout).sum())
+
+        loss()
+        conv.backward(readout)
+        analytic = conv.grad_kernels.copy()
+        numeric = numerical_gradient(loss, conv.kernels)
+        assert relative_error(analytic, numeric) < TOL
