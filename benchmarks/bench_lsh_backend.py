@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Perf-regression microbenchmark: dict vs flat LSH backends.
+
+Unlike the table/figure benches in this directory (pytest-benchmark
+suites), this is a plain script so CI can run it without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_lsh_backend.py --smoke --check
+
+It times build/update/query_batch for both ``LSHIndex`` backends over a
+(K, L, width, batch) grid, verifies the backends return identical
+candidate sets, writes ``BENCH_lsh.json`` at the repo root, and — under
+``--check`` — fails if the flat backend is slower than dict at the
+paper's default shape (K = 6, L = 5).  See ``repro.lsh.bench`` for the
+implementation and ``python -m repro lsh-bench`` for the CLI twin.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.lsh.bench import add_arguments, run_cli  # noqa: E402
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_arguments(parser)
+    parser.set_defaults(out=str(_ROOT / "BENCH_lsh.json"))
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,10 @@ Commands
     Print the analytical per-step FLOP table for an architecture.
 ``datasets``
     List the available benchmarks and their paper split sizes.
+``lsh-bench``
+    Benchmark the dict vs flat LSH backends on the ALSH hot path and
+    write the ``BENCH_lsh.json`` perf-trajectory file (``--smoke``,
+    ``--check``, ``--store`` for the executor's resumable JSONL sink).
 """
 
 from __future__ import annotations
@@ -120,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
     flops.add_argument("--batch", type=int, default=20)
 
     sub.add_parser("datasets", help="list the paper benchmarks")
+
+    from .lsh import bench as lsh_bench
+
+    lsh = sub.add_parser(
+        "lsh-bench", help="benchmark dict vs flat LSH backends"
+    )
+    lsh_bench.add_arguments(lsh)
     return parser
 
 
@@ -326,6 +337,12 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _cmd_lsh_bench(args) -> int:
+    from .lsh import bench as lsh_bench
+
+    return lsh_bench.run_cli(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -336,6 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "theory": _cmd_theory,
         "flops": _cmd_flops,
         "datasets": _cmd_datasets,
+        "lsh-bench": _cmd_lsh_bench,
     }
     return handlers[args.command](args)
 

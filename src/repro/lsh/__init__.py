@@ -13,17 +13,30 @@ from .diagnostics import (
     candidate_size_profile,
     recall_at_k,
 )
+from .flat import FlatHashTables, make_fused_bank
 from .mips import MIPSIndex, exact_mips
 from .rebuild import RebuildScheduler
 from .drift import ColumnDriftTracker
-from .dwta import DensifiedWTA
-from .srp import SignedRandomProjection, collision_probability
-from .tables import HASH_FAMILIES, HashTable, LSHIndex, make_hash_function
+from .dwta import DensifiedWTA, FusedDWTA
+from .srp import FusedSRP, SignedRandomProjection, collision_probability, pack_bits
+from .tables import (
+    HASH_FAMILIES,
+    LSH_BACKENDS,
+    HashTable,
+    LSHIndex,
+    make_hash_function,
+)
 
 __all__ = [
     "SignedRandomProjection",
     "DensifiedWTA",
+    "FusedSRP",
+    "FusedDWTA",
+    "FlatHashTables",
+    "make_fused_bank",
+    "pack_bits",
     "HASH_FAMILIES",
+    "LSH_BACKENDS",
     "make_hash_function",
     "collision_probability",
     "HashTable",

@@ -14,7 +14,7 @@ The paper uses m = 3 (§8.4).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -59,15 +59,22 @@ class AsymmetricTransform:
             return 1.0
         return self.scale / max_norm
 
-    def transform_data(self, data: np.ndarray) -> Tuple[np.ndarray, float]:
+    def transform_data(
+        self, data: np.ndarray, scale: Optional[float] = None
+    ) -> Tuple[np.ndarray, float]:
         """Apply P to a collection of vectors.
 
         Returns ``(P(s·data), s)`` where ``s`` is the scaling applied; the
         caller needs ``s`` only for diagnostics, since argmax ⟨a, w⟩ is
         invariant to a positive global rescaling of the data.
+
+        Pass ``scale`` to reuse a previously fitted factor instead of
+        refitting on ``data`` — the incremental-update path, where a
+        subset must be hashed consistently with the full collection it
+        belongs to.
         """
         data = np.atleast_2d(np.asarray(data, dtype=float))
-        s = self.fit_data_scaling(data)
+        s = self.fit_data_scaling(data) if scale is None else float(scale)
         scaled = data * s
         norms_sq = (scaled * scaled).sum(axis=1, keepdims=True)
         pads = [norms_sq]

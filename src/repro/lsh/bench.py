@@ -1,0 +1,267 @@
+"""Microbenchmark: dict vs flat LSH backends on the ALSH hot path.
+
+Times ``build`` / ``update`` / ``query_batch`` for both
+:class:`~repro.lsh.tables.LSHIndex` backends across a (K, L, width,
+batch) grid, checks that the backends return identical candidate sets,
+and writes a ``BENCH_lsh.json`` perf-trajectory file so later PRs can
+compare against this one.  The paper's default shape (K = 6, L = 5) is
+the regression gate: the run fails under ``--check`` if the flat backend
+is not at least ``--min-speedup`` times faster there on ``query_batch``.
+
+Runnable three ways:
+
+* ``python benchmarks/bench_lsh_backend.py [--smoke]`` (CI uses
+  ``--smoke --check``),
+* ``python -m repro lsh-bench``, which can also stream per-config
+  records to the executor's resumable JSONL sink (``--store``),
+* programmatically via :func:`run_grid`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .tables import LSHIndex
+
+__all__ = [
+    "PAPER_SHAPE",
+    "default_grid",
+    "bench_config",
+    "run_grid",
+    "check_speedups",
+    "write_bench_json",
+    "add_arguments",
+    "run_cli",
+    "main",
+]
+
+# The paper's default LSH shape (§8.4): the perf-regression gate.
+PAPER_SHAPE = {"n_bits": 6, "n_tables": 5}
+
+_OPS = ("build", "update", "query_batch")
+
+
+def default_grid(smoke: bool = False) -> List[Dict]:
+    """The benchmark grid: a tiny smoke slice or the full sweep.
+
+    Both include a (K = 6, L = 5) point so the regression gate always has
+    a record to check; the full grid covers the acceptance shape
+    (width 1024, batch 128) plus K, L, width, and batch sweeps around it,
+    and one DWTA point.
+    """
+    if smoke:
+        return [
+            {"family": "srp", "n_bits": 6, "n_tables": 5,
+             "width": 256, "batch": 32, "dim": 64},
+            {"family": "srp", "n_bits": 4, "n_tables": 2,
+             "width": 128, "batch": 16, "dim": 64},
+        ]
+    dim = 128
+    grid = []
+    for n_bits, n_tables in [(4, 5), (6, 5), (8, 5), (6, 2), (6, 10)]:
+        for width in (256, 1024):
+            for batch in (32, 128):
+                grid.append(
+                    {"family": "srp", "n_bits": n_bits, "n_tables": n_tables,
+                     "width": width, "batch": batch, "dim": dim}
+                )
+    grid.append(
+        {"family": "dwta", "n_bits": 6, "n_tables": 5,
+         "width": 1024, "batch": 128, "dim": dim}
+    )
+    return grid
+
+
+def config_key(cfg: Dict) -> str:
+    """Stable identifier for one grid point (the JSONL resume key)."""
+    return (
+        f"lsh-bench:{cfg['family']}:K{cfg['n_bits']}:L{cfg['n_tables']}"
+        f":w{cfg['width']}:b{cfg['batch']}"
+    )
+
+
+def _best_of(fn, inputs: Sequence) -> float:
+    """Minimum wall-clock over one call per prepared input."""
+    best = float("inf")
+    for arg in inputs:
+        start = time.perf_counter()
+        fn(*arg)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_config(cfg: Dict, repeats: int = 3, seed: int = 0) -> Dict:
+    """Time one grid point on both backends and compute speedups.
+
+    Data, queries, and update perturbations are derived from a
+    per-config :class:`~numpy.random.SeedSequence`, so records are
+    reproducible and independent of grid order.
+    """
+    ss = np.random.SeedSequence(
+        [seed, cfg["n_bits"], cfg["n_tables"], cfg["width"], cfg["batch"]]
+    )
+    rng = np.random.default_rng(ss)
+    data = rng.normal(size=(cfg["width"], cfg["dim"]))
+    queries = rng.normal(size=(cfg["batch"], cfg["dim"]))
+    # The rebuild scheduler re-inserts a touched subset (~10% of columns);
+    # a fresh perturbation per repeat so no repeat is a no-op.
+    ids = np.arange(max(1, cfg["width"] // 10))
+    update_sets = [
+        (ids, data[ids] + 0.1 * rng.normal(size=(ids.size, cfg["dim"])))
+        for _ in range(repeats)
+    ]
+
+    record: Dict = dict(cfg)
+    candidates = {}
+    for backend in ("dict", "flat"):
+        index = LSHIndex(
+            cfg["dim"],
+            n_bits=cfg["n_bits"],
+            n_tables=cfg["n_tables"],
+            family=cfg["family"],
+            seed=seed,
+            backend=backend,
+        )
+        timings = {
+            "build": _best_of(index.build, [(data,)] * repeats),
+            "update": _best_of(index.update, update_sets),
+        }
+        # Rebuild so both backends answer queries over identical contents.
+        index.build(data)
+        timings["query_batch"] = _best_of(
+            index.query_batch, [(queries,)] * repeats
+        )
+        candidates[backend] = index.query_batch(queries)
+        record[backend] = timings
+    record["candidates_equal"] = all(
+        np.array_equal(a, b)
+        for a, b in zip(candidates["dict"], candidates["flat"])
+    )
+    record["speedup"] = {
+        op: record["dict"][op] / max(record["flat"][op], 1e-12) for op in _OPS
+    }
+    return record
+
+
+def run_grid(
+    grid: Sequence[Dict],
+    repeats: int = 3,
+    seed: int = 0,
+    store: Optional[str] = None,
+    verbose: bool = True,
+) -> List[Dict]:
+    """Benchmark every grid point, optionally streaming to a JSONL sink."""
+    sink = None
+    if store is not None:
+        from ..harness.executor import JsonlSink
+
+        sink = JsonlSink(store)
+    records = []
+    for i, cfg in enumerate(grid):
+        record = bench_config(cfg, repeats=repeats, seed=seed)
+        records.append(record)
+        if sink is not None:
+            sink.append(
+                {"key": config_key(cfg), "status": "ok", "record": record}
+            )
+        if verbose:
+            print(
+                f"  [{i + 1}/{len(grid)}] {config_key(cfg)}: "
+                f"query_batch {record['speedup']['query_batch']:.1f}x, "
+                f"build {record['speedup']['build']:.1f}x, "
+                f"update {record['speedup']['update']:.1f}x "
+                f"(candidates {'equal' if record['candidates_equal'] else 'DIFFER'})"
+            )
+    return records
+
+
+def check_speedups(records: Sequence[Dict], min_speedup: float = 1.0) -> List[str]:
+    """Regression gate: failures at the paper's default (K, L) shape.
+
+    Every record must return identical candidate sets; records at
+    K = 6, L = 5 must additionally beat the dict backend on
+    ``query_batch`` by ``min_speedup``.
+    """
+    failures = []
+    for record in records:
+        if not record["candidates_equal"]:
+            failures.append(f"{config_key(record)}: candidate sets differ")
+        at_default = all(record[k] == v for k, v in PAPER_SHAPE.items())
+        if at_default and record["speedup"]["query_batch"] < min_speedup:
+            failures.append(
+                f"{config_key(record)}: flat query_batch only "
+                f"{record['speedup']['query_batch']:.2f}x vs dict "
+                f"(need >= {min_speedup:.2f}x)"
+            )
+    return failures
+
+
+def write_bench_json(
+    records: Sequence[Dict], path, smoke: bool = False
+) -> Path:
+    """Write the perf-trajectory file consumed by later PRs' benches."""
+    path = Path(path)
+    payload = {
+        "bench": "lsh_backend",
+        "smoke": bool(smoke),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "paper_shape": PAPER_SHAPE,
+        "records": list(records),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """CLI flags shared by the script and the ``lsh-bench`` subcommand."""
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid for CI (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per op (best-of)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_lsh.json",
+                        help="perf-trajectory JSON output path")
+    parser.add_argument("--store", default=None,
+                        help="also stream per-config records to this JSONL sink")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if flat loses at the paper shape")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required flat/dict query_batch ratio at K=6, L=5")
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Run the grid per parsed args; returns the process exit code."""
+    grid = default_grid(smoke=args.smoke)
+    print(
+        f"lsh-bench: {len(grid)} configurations "
+        f"({'smoke' if args.smoke else 'full'} grid), "
+        f"best-of-{args.repeats} timings"
+    )
+    records = run_grid(
+        grid, repeats=args.repeats, seed=args.seed, store=args.store
+    )
+    out = write_bench_json(records, args.out, smoke=args.smoke)
+    print(f"wrote {out}")
+    failures = check_speedups(records, min_speedup=args.min_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.check and failures:
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``benchmarks/bench_lsh_backend.py``)."""
+    parser = argparse.ArgumentParser(
+        description="dict vs flat LSH backend microbenchmark"
+    )
+    add_arguments(parser)
+    return run_cli(parser.parse_args(argv))

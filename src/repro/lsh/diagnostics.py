@@ -61,13 +61,11 @@ def bucket_stats(index: LSHIndex) -> BucketStats:
     one bucket, which makes every query return the whole collection — the
     failure mode where "sampling" stops sampling.
     """
-    loads = []
-    occupied = 0
-    for table in index.tables:
-        counts = [len(bucket) for bucket in table.buckets.values()]
-        loads.extend(counts)
-        occupied += len(counts)
-    loads_arr = np.array(loads, dtype=float) if loads else np.zeros(0)
+    per_table = index.bucket_loads()
+    occupied = sum(counts.size for counts in per_table)
+    loads_arr = (
+        np.concatenate(per_table).astype(float) if occupied else np.zeros(0)
+    )
     return BucketStats(
         n_tables=index.n_tables,
         n_items=len(index),

@@ -22,11 +22,11 @@ ALSH trainer (see the ``hash_family`` option).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["DensifiedWTA"]
+__all__ = ["DensifiedWTA", "FusedDWTA"]
 
 
 class DensifiedWTA:
@@ -143,3 +143,52 @@ class DensifiedWTA:
     def hash_one(self, vector: np.ndarray) -> int:
         """Bucket id of a single vector."""
         return int(self.hash(np.asarray(vector).reshape(1, -1))[0])
+
+
+class FusedDWTA:
+    """L DWTA functions hashed together through one fused gather.
+
+    The WTA analogue of :class:`~repro.lsh.srp.FusedSRP`: the bin
+    permutations of all L functions are stacked into one ``(L, n_bins,
+    bin_size)`` index tensor, so a query batch gathers and arg-maxes every
+    table's bins in a single vectorized pass instead of L separate calls.
+    Rows that hit an empty bin (sparse vectors) fall back to the owning
+    function's reference densification path, so codes are identical to
+    calling each function's :meth:`~DensifiedWTA.hash` separately.
+    """
+
+    def __init__(self, fns: Sequence[DensifiedWTA]):
+        if not fns:
+            raise ValueError("need at least one hash function")
+        shapes = {(fn.dim, fn.n_bits, fn.bin_size) for fn in fns}
+        if len(shapes) != 1:
+            raise ValueError(
+                "fused DWTA functions must share dim, n_bits and bin_size"
+            )
+        self.fns = list(fns)
+        self.dim = fns[0].dim
+        self.n_bits = fns[0].n_bits
+        self.n_fns = len(fns)
+        self._bins = np.stack([fn._bins for fn in fns])  # (L, n_bins, bin_size)
+        self._n_bins = fns[0].n_bins
+        self._bits_per_bin = fns[0]._bits_per_bin
+
+    def hash_all(self, vectors: np.ndarray) -> np.ndarray:
+        """Codes for all functions at once, shape ``(n_vectors, L)``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected vectors of dim {self.dim}, got {vectors.shape[1]}"
+            )
+        gathered = vectors[:, self._bins]  # (n, L, n_bins, bin_size)
+        arg = gathered.argmax(axis=3).astype(np.int64)
+        codes = np.zeros(arg.shape[:2], dtype=np.int64)
+        for b in range(self._n_bins):
+            codes = (codes << self._bits_per_bin) | arg[:, :, b]
+        codes &= (1 << self.n_bits) - 1
+        empty = ~(gathered != 0.0).any(axis=3)  # (n, L, n_bins)
+        if empty.any():
+            rows, tables = np.nonzero(empty.any(axis=2))
+            for r, t in zip(rows.tolist(), tables.tolist()):
+                codes[r, t] = self.fns[t].hash(vectors[r : r + 1])[0]
+        return codes

@@ -1,0 +1,388 @@
+"""Vectorized flat-array bucket storage for multi-table LSH.
+
+The dict backend (:class:`~repro.lsh.tables.HashTable`) keeps ``Dict[int,
+Set[int]]`` buckets and walks them with per-item Python loops — faithful
+and easy to audit, but it makes table maintenance and candidate lookup the
+dominant cost of ALSH training (the very path §9.2 says must be near-free
+for sampling to pay off).  :class:`FlatHashTables` stores the same L
+tables as contiguous int arrays and serves whole query batches with a
+handful of NumPy calls:
+
+* hashing of all L tables is fused into one pass over the batch
+  (:class:`~repro.lsh.srp.FusedSRP` — a single ``(B, dim) @ (dim, L·K)``
+  GEMM — or :class:`~repro.lsh.dwta.FusedDWTA`);
+* bucket membership is one CSR-style ``(offsets, members)`` pair spanning
+  all L tables at once, addressed by *global* bucket ids
+  ``t·2^K + code`` and storing *global* member ids ``t·n + item``, so a
+  whole (batch × tables) probe is a single range-gather;
+* the across-table candidate union is one sort + flag-dedup over fused
+  ``(query, item)`` keys instead of Python ``set.union`` per query.
+
+Storage layout
+--------------
+``item_gcode[t, i]``
+    Current *global* bucket code of item ``i`` in table ``t`` (−1 = item
+    never inserted).  This array is the ground truth; everything else is
+    an inverted view.  Its row-major ravel is indexed directly by global
+    member ids, which is what makes tombstone filtering one comparison.
+``offsets[t]`` / ``members[t]`` (fused lazily into one global CSR)
+    Snapshot of bucket membership at the last compaction.  Entries whose
+    item has since moved buckets are *tombstones*: a member ``m`` listed
+    under code ``c`` is live iff ``item_gcode`` still maps it to ``c``.
+``extra_items[t]`` / ``extra_gcodes[t]``
+    Entries appended by :meth:`FlatHashTables.update` since the last
+    compaction, scanned vectorized at query time.
+
+:meth:`FlatHashTables.update` therefore costs O(|ids|) appends — no
+bucket surgery — which is what keeps the rebuild scheduler's frequent
+partial re-inserts cheap.  When a table's garbage (tombstones + appended
+extras) exceeds ``compact_garbage_frac`` of its live items, the table is
+re-packed into a fresh CSR snapshot with a single stable argsort.
+
+The flat backend returns byte-identical candidate sets to the dict
+backend for identical seeds (the equivalence tests in
+``tests/lsh/test_flat_backend.py`` enforce this), so the dict backend is
+retained purely as the reference oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dwta import DensifiedWTA, FusedDWTA
+from .srp import FusedSRP, SignedRandomProjection
+
+__all__ = ["FlatHashTables", "make_fused_bank"]
+
+
+def make_fused_bank(fns: Sequence):
+    """Build the fused multi-table hasher matching a family of functions."""
+    if all(isinstance(fn, SignedRandomProjection) for fn in fns):
+        return FusedSRP(fns)
+    if all(isinstance(fn, DensifiedWTA) for fn in fns):
+        return FusedDWTA(fns)
+    raise ValueError("hash functions must all be SRP or all be DWTA")
+
+
+def _gather_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices covering ``[starts[i], starts[i] + counts[i])`` ranges."""
+    total = int(counts.sum())
+    exclusive = np.cumsum(counts) - counts
+    shift = np.repeat(starts - exclusive, counts)
+    return np.arange(total, dtype=np.int64) + shift
+
+
+def _dedup_sorted(values: np.ndarray) -> np.ndarray:
+    """Unique values of a pre-sorted array (cheaper than ``np.unique``)."""
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+class FlatHashTables:
+    """L hash tables over flat int arrays with tombstoned updates.
+
+    Parameters
+    ----------
+    fns:
+        The L hash functions (one per table), all sharing ``dim`` and
+        ``n_bits``.  They must be constructed in the same order as the
+        dict backend's so that identical seeds give identical tables.
+    compact_garbage_frac:
+        Re-pack a table's CSR snapshot when its dead entries exceed this
+        fraction of its live items (plus a small absolute floor so tiny
+        tables don't compact on every update).
+    """
+
+    def __init__(self, fns: Sequence, compact_garbage_frac: float = 0.5):
+        if not fns:
+            raise ValueError("need at least one hash function")
+        if compact_garbage_frac <= 0.0:
+            raise ValueError(
+                f"compact_garbage_frac must be positive, got {compact_garbage_frac}"
+            )
+        self.fns = list(fns)
+        self.n_tables = len(self.fns)
+        self.n_buckets = int(self.fns[0].n_buckets)
+        self.compact_garbage_frac = float(compact_garbage_frac)
+        self.bank = make_fused_bank(self.fns)
+        # Global bucket-code base of each table: gcode = t·2^K + code.
+        self._code_base = (
+            np.arange(self.n_tables, dtype=np.int64) * self.n_buckets
+        )
+        self.compactions = 0  # maintenance counter (diagnostics)
+        self._reset(0)
+
+    # ------------------------------------------------------------------
+    # storage management
+    # ------------------------------------------------------------------
+    def _reset(self, n_slots: int) -> None:
+        L = self.n_tables
+        self.item_gcode = np.full((L, n_slots), -1, dtype=np.int64)
+        self._offsets = [
+            np.zeros(self.n_buckets + 1, dtype=np.int64) for _ in range(L)
+        ]
+        self._members = [np.empty(0, dtype=np.int64) for _ in range(L)]
+        self._extra_items: List[List[np.ndarray]] = [[] for _ in range(L)]
+        self._extra_gcodes: List[List[np.ndarray]] = [[] for _ in range(L)]
+        self._extra_len = [0] * L
+        self._stale = [0] * L
+        self._fused_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._fused_extras: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @property
+    def n_slots(self) -> int:
+        """Highest item id ever stored, plus one."""
+        return self.item_gcode.shape[1]
+
+    def _grow(self, n_slots: int) -> None:
+        pad = np.full(
+            (self.n_tables, n_slots - self.n_slots), -1, dtype=np.int64
+        )
+        self.item_gcode = np.concatenate([self.item_gcode, pad], axis=1)
+        self._fused_csr = None
+        self._fused_extras = None
+
+    def _compact(self, t: int) -> None:
+        """Re-pack table ``t``'s CSR snapshot from ``item_gcode`` truth."""
+        row = self.item_gcode[t]
+        items = np.flatnonzero(row >= 0)
+        codes = row[items] - self._code_base[t]
+        order = np.argsort(codes, kind="stable")
+        self._members[t] = items[order]
+        offsets = np.zeros(self.n_buckets + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum(np.bincount(codes, minlength=self.n_buckets))
+        self._offsets[t] = offsets
+        self._extra_items[t] = []
+        self._extra_gcodes[t] = []
+        self._extra_len[t] = 0
+        self._stale[t] = 0
+        self._fused_csr = None
+        self._fused_extras = None
+        self.compactions += 1
+
+    def _fused(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One CSR over all tables: global bucket ids → global member ids.
+
+        Table ``t``'s buckets occupy global ids ``[t·2^K, (t+1)·2^K)`` and
+        its members are stored as ``t·n + item``, so a (batch × tables)
+        probe needs no per-table loop.  Rebuilt lazily after mutations —
+        a few small concatenates, nothing per-item.
+        """
+        if self._fused_csr is None:
+            n = self.n_slots
+            sizes = [m.size for m in self._members]
+            base = np.concatenate([[0], np.cumsum(sizes)])
+            offsets = np.concatenate(
+                [
+                    self._offsets[t][:-1] + base[t]
+                    for t in range(self.n_tables)
+                ]
+                + [base[-1:]]
+            )
+            members = np.concatenate(
+                [self._members[t] + t * n for t in range(self.n_tables)]
+            )
+            self._fused_csr = (offsets, members)
+        return self._fused_csr
+
+    def _extras(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Table ``t``'s appended (local item, global code) entries."""
+        chunks_i, chunks_c = self._extra_items[t], self._extra_gcodes[t]
+        if not chunks_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if len(chunks_i) > 1:
+            # Coalesce so repeated queries don't re-concatenate.
+            self._extra_items[t] = [np.concatenate(chunks_i)]
+            self._extra_gcodes[t] = [np.concatenate(chunks_c)]
+        return self._extra_items[t][0], self._extra_gcodes[t][0]
+
+    def _all_extras(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All tables' extras as (global member ids, global codes)."""
+        if self._fused_extras is None:
+            n = self.n_slots
+            items_parts, code_parts = [], []
+            for t in range(self.n_tables):
+                e_items, e_gcodes = self._extras(t)
+                if e_items.size:
+                    items_parts.append(e_items + t * n)
+                    code_parts.append(e_gcodes)
+            if items_parts:
+                self._fused_extras = (
+                    np.concatenate(items_parts),
+                    np.concatenate(code_parts),
+                )
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                self._fused_extras = (empty, empty)
+        return self._fused_extras
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray) -> None:
+        """(Re)index a full collection; item ids are the row indices."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        n = vectors.shape[0]
+        self._reset(n)
+        if n:
+            codes = self.bank.hash_all(vectors) + self._code_base[None, :]
+            self.item_gcode = np.ascontiguousarray(codes.T)
+        for t in range(self.n_tables):
+            self._compact(t)
+
+    def update(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Re-insert (or newly insert) items after their vectors changed."""
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if ids.size != vectors.shape[0]:
+            raise ValueError(
+                f"got {ids.size} ids for {vectors.shape[0]} vectors"
+            )
+        if ids.size == 0:
+            return
+        if (ids < 0).any():
+            raise ValueError("item ids must be non-negative")
+        if ids.size > 1:
+            # Duplicate ids within one call: the last occurrence wins,
+            # matching the dict backend's sequential insert semantics.
+            uniq, rev_first = np.unique(ids[::-1], return_index=True)
+            if uniq.size != ids.size:
+                keep = ids.size - 1 - rev_first
+                ids, vectors = ids[keep], vectors[keep]
+        if int(ids.max()) >= self.n_slots:
+            self._grow(int(ids.max()) + 1)
+        gcodes = self.bank.hash_all(vectors) + self._code_base[None, :]
+        for t in range(self.n_tables):
+            old = self.item_gcode[t, ids]
+            changed = old != gcodes[:, t]
+            if not changed.any():
+                continue
+            moved, new_codes = ids[changed], gcodes[changed, t]
+            self.item_gcode[t, moved] = new_codes
+            self._extra_items[t].append(moved)
+            self._extra_gcodes[t].append(new_codes)
+            self._extra_len[t] += moved.size
+            self._stale[t] += int(np.count_nonzero(changed & (old >= 0)))
+            self._fused_extras = None
+            live = int((self.item_gcode[t] >= 0).sum())
+            garbage = self._stale[t] + self._extra_len[t]
+            if garbage > max(32, self.compact_garbage_frac * live):
+                self._compact(t)
+
+    def clear(self) -> None:
+        """Drop all stored items (hash functions are kept)."""
+        self._reset(0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:
+        """Sorted-unique candidate union across tables, one per query."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        n_queries = vectors.shape[0]
+        n = self.n_slots
+        if n == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+        gcodes = self.bank.hash_all(vectors) + self._code_base[None, :]
+        probes = gcodes.ravel()  # (B·L,) — query-major, tables contiguous
+        gcode_flat = self.item_gcode.reshape(-1)  # indexed by global ids
+        offsets, members_g = self._fused()
+        starts = offsets[probes]
+        counts = offsets[probes + 1] - starts
+        probe_qid = np.repeat(
+            np.arange(n_queries, dtype=np.int64), self.n_tables
+        )
+        item_parts: List[np.ndarray] = []
+        qid_parts: List[np.ndarray] = []
+        if counts.any():
+            gathered = members_g[_gather_ranges(starts, counts)]
+            live = gcode_flat[gathered] == np.repeat(probes, counts)
+            item_parts.append(gathered[live])
+            qid_parts.append(np.repeat(probe_qid, counts)[live])
+        e_items, e_gcodes = self._all_extras()
+        if e_items.size:
+            p_idx, e_idx = np.nonzero(probes[:, None] == e_gcodes[None, :])
+            hits = e_items[e_idx]
+            live = gcode_flat[hits] == e_gcodes[e_idx]
+            item_parts.append(hits[live])
+            qid_parts.append(probe_qid[p_idx[live]])
+        items = (
+            np.concatenate(item_parts) if item_parts else np.empty(0, np.int64)
+        )
+        if items.size == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+        qids = np.concatenate(qid_parts)
+        # Across-table union: global member ids collapse to local with one
+        # mod, then one sort + flag-dedup over fused (query, item) keys
+        # replaces L set unions per query.
+        keys = _dedup_sorted(np.sort(qids * n + items % n))
+        out_qids = keys // n
+        out_items = keys - out_qids * n
+        bounds = np.searchsorted(
+            out_qids, np.arange(n_queries + 1, dtype=np.int64)
+        )
+        return [
+            out_items[bounds[b] : bounds[b + 1]] for b in range(n_queries)
+        ]
+
+    def query(self, vector: np.ndarray) -> np.ndarray:
+        """Candidate ids for a single query (sorted, unique).
+
+        Dedicated path: bucket ranges are plain slices here, so the batch
+        machinery (range gathers, fused keys) would be pure overhead.
+        """
+        vector = np.asarray(vector, dtype=float).reshape(1, -1)
+        if self.n_slots == 0:
+            return np.empty(0, dtype=np.int64)
+        gcodes = self.bank.hash_all(vector)[0] + self._code_base
+        parts: List[np.ndarray] = []
+        for t in range(self.n_tables):
+            g = int(gcodes[t])
+            c = g - t * self.n_buckets
+            offsets = self._offsets[t]
+            members = self._members[t][offsets[c] : offsets[c + 1]]
+            if members.size:
+                parts.append(members[self.item_gcode[t][members] == g])
+            e_items, e_gcodes = self._extras(t)
+            if e_items.size:
+                hits = e_items[e_gcodes == g]
+                if hits.size:
+                    parts.append(hits[self.item_gcode[t][hits] == g])
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        merged = np.sort(np.concatenate(parts))
+        if merged.size == 0:
+            return merged
+        return _dedup_sorted(merged)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def bucket_loads(self) -> List[np.ndarray]:
+        """Per-table array of live item counts for each occupied bucket."""
+        loads = []
+        for t in range(self.n_tables):
+            row = self.item_gcode[t]
+            codes = row[row >= 0] - self._code_base[t]
+            counts = np.bincount(codes, minlength=self.n_buckets)
+            loads.append(counts[counts > 0])
+        return loads
+
+    def memory_bytes(self) -> int:
+        """Hash-function tables plus all bucket-storage arrays."""
+        total = sum(fn.nbytes for fn in self.fns) + self.item_gcode.nbytes
+        for t in range(self.n_tables):
+            total += self._offsets[t].nbytes + self._members[t].nbytes
+            total += sum(chunk.nbytes for chunk in self._extra_items[t])
+            total += sum(chunk.nbytes for chunk in self._extra_gcodes[t])
+        return total
+
+    def __len__(self) -> int:
+        if self.n_slots == 0:
+            return 0
+        return int((self.item_gcode[0] >= 0).sum())

@@ -46,6 +46,15 @@ class MIPSIndex:
         Hash family — "srp" (default) or "dwta".
     seed:
         Reproducibility control for the hash hyperplanes.
+    backend:
+        Bucket storage — "dict" (reference) or "flat" (vectorized CSR
+        arrays; see :mod:`repro.lsh.flat`).
+    refit_subset_scale:
+        If True, :meth:`update` refits the P-transform scaling on the
+        update subset (the reference implementation's partial-rebuild
+        behaviour, kept for the ablation).  Default False: updates reuse
+        the global scaling fitted by the last :meth:`build`, so
+        incremental re-hashing matches a fresh full build.
     """
 
     def __init__(
@@ -57,6 +66,8 @@ class MIPSIndex:
         scale: float = 0.83,
         family: str = "srp",
         seed: Optional[int] = None,
+        backend: str = "dict",
+        refit_subset_scale: bool = False,
     ):
         self.transform = AsymmetricTransform(m=m, scale=scale)
         self.index = LSHIndex(
@@ -65,28 +76,48 @@ class MIPSIndex:
             n_tables=n_tables,
             family=family,
             seed=seed,
+            backend=backend,
         )
         self.dim = int(dim)
+        self.refit_subset_scale = bool(refit_subset_scale)
         self._n_items = 0
+        self._data_scale: Optional[float] = None
+
+    @property
+    def data_scale(self) -> Optional[float]:
+        """Scaling factor fitted by the last :meth:`build` (None before)."""
+        return self._data_scale
 
     def build(self, data: np.ndarray) -> None:
         """Index a collection; item ids are row indices into ``data``."""
         data = np.atleast_2d(data)
         if data.shape[1] != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {data.shape[1]}")
-        transformed, _ = self.transform.transform_data(data)
+        transformed, s = self.transform.transform_data(data)
+        self._data_scale = s
         self.index.build(transformed)
         self._n_items = data.shape[0]
 
     def update(self, ids: np.ndarray, data: np.ndarray) -> None:
         """Re-index a subset of items after their vectors changed.
 
-        Note: P-transform scaling is refit on the *subset*, consistent with
-        the reference implementation's periodic partial rebuilds; a full
-        :meth:`build` refits the global scaling.
+        The subset is scaled with the factor cached by the last
+        :meth:`build`, so a partial re-hash lands items exactly where a
+        fresh full build would.  With ``refit_subset_scale=True`` the
+        scaling is refit on the subset instead (the reference
+        implementation's behaviour, biased when the subset's norms are
+        unrepresentative).
         """
-        transformed, _ = self.transform.transform_data(np.atleast_2d(data))
-        self.index.update(np.asarray(ids), transformed)
+        data = np.atleast_2d(data)
+        if data.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {data.shape[1]}")
+        ids = np.asarray(ids).reshape(-1)
+        if ids.size == 0:
+            return
+        reuse = None if self.refit_subset_scale else self._data_scale
+        transformed, _ = self.transform.transform_data(data, scale=reuse)
+        self.index.update(ids, transformed)
+        self._n_items = max(self._n_items, int(ids.max()) + 1)
 
     def query(self, query: np.ndarray) -> np.ndarray:
         """Candidate item ids colliding with the query (sorted, unique)."""

@@ -10,11 +10,29 @@ analytic value so tests can compare empirical collision rates against it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["SignedRandomProjection", "collision_probability"]
+__all__ = [
+    "SignedRandomProjection",
+    "FusedSRP",
+    "pack_bits",
+    "collision_probability",
+]
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., K)`` bool array into little-endian int64 codes.
+
+    Equivalent to ``bits @ [1, 2, 4, ...]`` but shift-accumulates over the
+    K axis instead of materializing an int64 copy of the whole bit matrix,
+    so only the ``(...)``-shaped accumulator is ever allocated.
+    """
+    codes = np.zeros(bits.shape[:-1], dtype=np.int64)
+    for k in range(bits.shape[-1]):
+        codes |= bits[..., k].astype(np.int64) << k
+    return codes
 
 
 class SignedRandomProjection:
@@ -34,7 +52,6 @@ class SignedRandomProjection:
         self.dim = int(dim)
         self.n_bits = int(n_bits)
         self.planes = rng.normal(size=(dim, n_bits))
-        self._powers = (1 << np.arange(n_bits)).astype(np.int64)
 
     @property
     def n_buckets(self) -> int:
@@ -57,12 +74,61 @@ class SignedRandomProjection:
 
     def hash(self, vectors: np.ndarray) -> np.ndarray:
         """Integer bucket ids in ``[0, 2^K)`` for a batch of vectors."""
-        bits = self.signatures(vectors)
-        return bits.astype(np.int64) @ self._powers
+        return pack_bits(self.signatures(vectors))
 
     def hash_one(self, vector: np.ndarray) -> int:
-        """Bucket id of a single vector."""
-        return int(self.hash(vector.reshape(1, -1))[0])
+        """Bucket id of a single vector.
+
+        Fast path: projects the 1-D vector directly (one GEMV) without the
+        ``atleast_2d`` round-trip of :meth:`hash`.
+        """
+        vector = np.asarray(vector, dtype=float).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise ValueError(
+                f"expected a vector of dim {self.dim}, got {vector.shape[0]}"
+            )
+        bits = (vector @ self.planes) >= 0.0
+        code = 0
+        for k in range(self.n_bits):
+            if bits[k]:
+                code |= 1 << k
+        return code
+
+
+class FusedSRP:
+    """L SRP functions hashed together through one fused GEMM.
+
+    The dict backend hashes a query batch once per table — L small matrix
+    products.  Stacking the hyperplanes of all L functions into a single
+    ``(dim, L·K)`` operand turns the whole multi-table hash into one
+    ``(B, dim) @ (dim, L·K)`` product followed by bit-packing, which is
+    what makes the flat backend's query path a single BLAS call.
+
+    All functions must share ``dim`` and ``n_bits``; per-column results
+    are identical to calling each function's :meth:`hash` separately.
+    """
+
+    def __init__(self, fns: Sequence[SignedRandomProjection]):
+        if not fns:
+            raise ValueError("need at least one hash function")
+        dims = {fn.dim for fn in fns}
+        bits = {fn.n_bits for fn in fns}
+        if len(dims) != 1 or len(bits) != 1:
+            raise ValueError("fused SRP functions must share dim and n_bits")
+        self.dim = fns[0].dim
+        self.n_bits = fns[0].n_bits
+        self.n_fns = len(fns)
+        self.planes = np.concatenate([fn.planes for fn in fns], axis=1)
+
+    def hash_all(self, vectors: np.ndarray) -> np.ndarray:
+        """Codes for all functions at once, shape ``(n_vectors, L)``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected vectors of dim {self.dim}, got {vectors.shape[1]}"
+            )
+        bits = (vectors @ self.planes) >= 0.0  # the one GEMM
+        return pack_bits(bits.reshape(vectors.shape[0], self.n_fns, self.n_bits))
 
 
 def collision_probability(u: np.ndarray, v: np.ndarray, n_bits: int = 1) -> float:

@@ -140,3 +140,36 @@ class TestFamilyIntegration:
         trainer = ALSHApproxTrainer(net, hash_family="dwta", seed=1)
         loss = trainer.train_batch(rng.normal(size=(3, 12)), np.array([0, 1, 2]))
         assert np.isfinite(loss)
+
+
+class TestFusedDWTA:
+    def test_matches_per_function_hash_dense(self, rng):
+        from repro.lsh.dwta import FusedDWTA
+
+        fns = [DensifiedWTA(20, 6, rng=rng) for _ in range(4)]
+        fused = FusedDWTA(fns)
+        vectors = rng.normal(size=(25, 20))
+        codes = fused.hash_all(vectors)
+        for t, fn in enumerate(fns):
+            np.testing.assert_array_equal(codes[:, t], fn.hash(vectors))
+
+    def test_matches_per_function_hash_sparse(self, rng):
+        """Sparse rows hit empty bins: fused must reproduce the reference
+        densification exactly."""
+        from repro.lsh.dwta import FusedDWTA
+
+        fns = [DensifiedWTA(20, 6, rng=rng) for _ in range(3)]
+        fused = FusedDWTA(fns)
+        vectors = rng.normal(size=(30, 20))
+        vectors[rng.random(vectors.shape) < 0.8] = 0.0
+        vectors[0] = 0.0  # the all-zero degenerate case
+        codes = fused.hash_all(vectors)
+        for t, fn in enumerate(fns):
+            np.testing.assert_array_equal(codes[:, t], fn.hash(vectors))
+
+    def test_mismatched_functions_rejected(self, rng):
+        from repro.lsh.dwta import FusedDWTA
+
+        fns = [DensifiedWTA(20, 6, rng=rng), DensifiedWTA(20, 4, rng=rng)]
+        with pytest.raises(ValueError):
+            FusedDWTA(fns)

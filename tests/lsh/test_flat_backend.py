@@ -1,0 +1,184 @@
+"""Equivalence and unit tests for the flat (vectorized CSR) LSH backend.
+
+The dict backend is the reference oracle: for identical seeds the flat
+backend must return byte-identical candidate sets through any sequence of
+build / update / query operations.  These tests drive both backends with
+the same randomized op sequences and assert exact agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lsh.flat import FlatHashTables, make_fused_bank
+from repro.lsh.srp import SignedRandomProjection
+from repro.lsh.tables import LSHIndex
+
+
+def make_pair(family, seed, dim=24, n_bits=5, n_tables=4):
+    kwargs = dict(n_bits=n_bits, n_tables=n_tables, family=family, seed=seed)
+    return (
+        LSHIndex(dim, backend="dict", **kwargs),
+        LSHIndex(dim, backend="flat", **kwargs),
+    )
+
+
+def draw_vectors(rng, n, dim, family):
+    vecs = rng.normal(size=(n, dim))
+    if family == "dwta":
+        # Sparse rows exercise the densification fallback.
+        vecs[rng.random(vecs.shape) < 0.6] = 0.0
+    return vecs
+
+
+def assert_same_answers(d, f, rng, dim, n_queries=6):
+    queries = rng.normal(size=(n_queries, dim))
+    for a, b in zip(d.query_batch(queries), f.query_batch(queries)):
+        np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(d.query(queries[0]), f.query(queries[0]))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("family", ["srp", "dwta"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_op_sequences(self, family, seed):
+        """build → (update → query)* gives identical candidates throughout."""
+        dim = 24
+        d, f = make_pair(family, seed, dim=dim)
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 99]))
+        data = draw_vectors(rng, 150, dim, family)
+        d.build(data)
+        f.build(data)
+        assert_same_answers(d, f, rng, dim)
+        for _ in range(10):
+            # Ids beyond the built range force the flat backend to grow.
+            ids = rng.integers(0, 200, size=rng.integers(1, 40))
+            vecs = draw_vectors(rng, ids.size, dim, family)
+            d.update(ids, vecs)
+            f.update(ids, vecs)
+            assert_same_answers(d, f, rng, dim)
+        assert len(d) == len(f)
+
+    def test_duplicate_ids_last_wins(self, rng):
+        """Repeated ids in one update call keep the last vector, like the
+        dict backend's sequential inserts."""
+        d, f = make_pair("srp", seed=4)
+        data = rng.normal(size=(50, 24))
+        d.build(data)
+        f.build(data)
+        ids = np.array([3, 7, 3, 9, 3])
+        vecs = rng.normal(size=(5, 24))
+        d.update(ids, vecs)
+        f.update(ids, vecs)
+        assert_same_answers(d, f, rng, 24)
+
+    def test_compaction_preserves_answers(self, rng):
+        """Force many compactions and check candidates never drift."""
+        d, f = make_pair("srp", seed=5, dim=16)
+        f.flat.compact_garbage_frac = 0.05
+        data = rng.normal(size=(64, 16))
+        d.build(data)
+        f.build(data)
+        for _ in range(15):
+            ids = rng.integers(0, 64, size=20)
+            vecs = rng.normal(size=(20, 16))
+            d.update(ids, vecs)
+            f.update(ids, vecs)
+            assert_same_answers(d, f, rng, 16)
+        assert f.flat.compactions > f.flat.n_tables  # beyond the build ones
+
+    def test_rebuild_after_updates(self, rng):
+        """build() discards update history on both backends identically."""
+        d, f = make_pair("srp", seed=6)
+        data = rng.normal(size=(80, 24))
+        d.build(data)
+        f.build(data)
+        ids = np.arange(30)
+        vecs = rng.normal(size=(30, 24))
+        d.update(ids, vecs)
+        f.update(ids, vecs)
+        d.build(data)
+        f.build(data)
+        assert_same_answers(d, f, rng, 24)
+
+    def test_bucket_loads_match(self, rng):
+        """Same seed → same tables → identical load multisets per table."""
+        d, f = make_pair("srp", seed=7)
+        data = rng.normal(size=(120, 24))
+        d.build(data)
+        f.build(data)
+        for ld, lf in zip(d.bucket_loads(), f.bucket_loads()):
+            np.testing.assert_array_equal(np.sort(ld), np.sort(lf))
+
+
+class TestFlatHashTables:
+    @pytest.fixture
+    def flat(self):
+        rng = np.random.default_rng(0)
+        fns = [SignedRandomProjection(8, 4, rng) for _ in range(3)]
+        return FlatHashTables(fns)
+
+    def test_empty_index_queries(self, flat, rng):
+        assert flat.query(rng.normal(size=8)).size == 0
+        results = flat.query_batch(rng.normal(size=(4, 8)))
+        assert len(results) == 4
+        assert all(r.size == 0 for r in results)
+
+    def test_len_and_clear(self, flat, rng):
+        flat.build(rng.normal(size=(30, 8)))
+        assert len(flat) == 30
+        flat.clear()
+        assert len(flat) == 0
+        assert flat.query(rng.normal(size=8)).size == 0
+
+    def test_update_before_build_inserts(self, flat, rng):
+        flat.update(np.array([5, 2]), rng.normal(size=(2, 8)))
+        assert len(flat) == 2
+        assert flat.n_slots == 6
+
+    def test_empty_update_is_noop(self, flat, rng):
+        flat.build(rng.normal(size=(10, 8)))
+        flat.update(np.empty(0, dtype=int), np.empty((0, 8)))
+        assert len(flat) == 10
+
+    def test_memory_grows_with_items(self, flat, rng):
+        flat.build(rng.normal(size=(10, 8)))
+        small = flat.memory_bytes()
+        flat.build(rng.normal(size=(200, 8)))
+        assert flat.memory_bytes() > small
+
+    def test_mismatched_ids_vectors_raise(self, flat, rng):
+        with pytest.raises(ValueError):
+            flat.update(np.array([0, 1]), rng.normal(size=(3, 8)))
+
+    def test_negative_ids_raise(self, flat, rng):
+        with pytest.raises(ValueError):
+            flat.update(np.array([-1]), rng.normal(size=(1, 8)))
+
+    def test_invalid_garbage_frac(self):
+        rng = np.random.default_rng(0)
+        fns = [SignedRandomProjection(8, 4, rng)]
+        with pytest.raises(ValueError):
+            FlatHashTables(fns, compact_garbage_frac=0.0)
+
+    def test_no_hash_functions_raises(self):
+        with pytest.raises(ValueError):
+            FlatHashTables([])
+
+
+class TestMakeFusedBank:
+    def test_mixed_families_rejected(self):
+        from repro.lsh.dwta import DensifiedWTA
+
+        rng = np.random.default_rng(0)
+        fns = [SignedRandomProjection(8, 4, rng), DensifiedWTA(8, 4, rng=rng)]
+        with pytest.raises(ValueError):
+            make_fused_bank(fns)
+
+    def test_mismatched_shapes_rejected(self):
+        rng = np.random.default_rng(0)
+        fns = [
+            SignedRandomProjection(8, 4, rng),
+            SignedRandomProjection(8, 5, rng),
+        ]
+        with pytest.raises(ValueError):
+            make_fused_bank(fns)

@@ -82,3 +82,88 @@ class TestMIPSIndex:
         index = MIPSIndex(16, seed=4)
         index.build(data)
         assert index.memory_bytes() > 0
+
+    def test_empty_update_is_noop(self, data, rng):
+        index = MIPSIndex(16, seed=4)
+        index.build(data)
+        index.update(np.empty(0, dtype=int), np.empty((0, 16)))
+        assert len(index) == 100
+
+    @pytest.mark.parametrize("backend", ["dict", "flat"])
+    def test_flat_backend_matches_dict(self, data, rng, backend):
+        """Same seed → identical candidates regardless of bucket storage."""
+        ref = MIPSIndex(16, seed=5, backend="dict")
+        alt = MIPSIndex(16, seed=5, backend=backend)
+        ref.build(data)
+        alt.build(data)
+        queries = rng.normal(size=(8, 16))
+        for a, b in zip(ref.query_batch(queries), alt.query_batch(queries)):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestUpdateScaling:
+    """update() must reuse the global P-transform scale fitted at build().
+
+    Refitting on the update subset (the old behaviour, kept behind
+    ``refit_subset_scale=True``) rescales the *whole* asymmetric transform
+    from whatever subset happens to be updated, so re-inserting unchanged
+    vectors could move them to different buckets.
+    """
+
+    @pytest.fixture
+    def data(self, rng):
+        # Widely spread norms so a subset refit produces a visibly
+        # different scale than the global fit.
+        base = rng.normal(size=(80, 12))
+        return base * np.linspace(0.1, 10.0, 80)[:, None]
+
+    def test_scale_cached_at_build(self, data):
+        index = MIPSIndex(12, seed=0)
+        assert index.data_scale is None
+        index.build(data)
+        assert index.data_scale is not None
+
+    def test_noop_update_preserves_candidates(self, data, rng):
+        """Re-inserting unchanged vectors must not move any item."""
+        index = MIPSIndex(12, n_bits=6, n_tables=5, seed=1)
+        index.build(data)
+        queries = rng.normal(size=(10, 12))
+        before = index.query_batch(queries)
+        ids = np.arange(5)  # small-norm rows: subset scale would differ
+        index.update(ids, data[ids])
+        after = index.query_batch(queries)
+        for a, b in zip(before, after):
+            np.testing.assert_array_equal(a, b)
+
+    def test_update_matches_fresh_build(self, data, rng):
+        """A partial re-hash lands items where a full rebuild would."""
+        updated = data.copy()
+        ids = np.arange(10)
+        updated[ids] = rng.normal(size=(10, 12)) * 0.2
+        incremental = MIPSIndex(12, seed=2)
+        incremental.build(data)
+        incremental.update(ids, updated[ids])
+        rebuilt = MIPSIndex(12, seed=2)
+        rebuilt.build(data)  # fit the scale on the same original data
+        rebuilt.update(np.arange(80), updated)
+        queries = rng.normal(size=(10, 12))
+        for a, b in zip(
+            incremental.query_batch(queries), rebuilt.query_batch(queries)
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_refit_subset_scale_restores_old_behaviour(self, data, rng):
+        """The ablation flag refits on the subset and (for skewed subsets)
+        moves unchanged items — exactly the bug the cache fixes."""
+        index = MIPSIndex(12, n_bits=8, n_tables=5, seed=3,
+                          refit_subset_scale=True)
+        index.build(data)
+        queries = rng.normal(size=(30, 12))
+        before = index.query_batch(queries)
+        ids = np.arange(5)
+        index.update(ids, data[ids])
+        after = index.query_batch(queries)
+        moved = any(
+            not np.array_equal(a, b) for a, b in zip(before, after)
+        )
+        assert moved

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lsh.srp import SignedRandomProjection, collision_probability
+from repro.lsh.srp import (
+    FusedSRP,
+    SignedRandomProjection,
+    collision_probability,
+    pack_bits,
+)
 
 
 class TestConstruction:
@@ -57,6 +62,65 @@ class TestHashing:
         srp = SignedRandomProjection(10, 4, rng)
         with pytest.raises(ValueError):
             srp.hash(rng.normal(size=(5, 7)))
+
+    def test_hash_one_matches_hash(self, rng):
+        srp = SignedRandomProjection(12, 7, rng)
+        vectors = rng.normal(size=(25, 12))
+        codes = srp.hash(vectors)
+        for i in range(25):
+            assert srp.hash_one(vectors[i]) == codes[i]
+
+    def test_hash_one_wrong_dim_raises(self, rng):
+        srp = SignedRandomProjection(10, 4, rng)
+        with pytest.raises(ValueError):
+            srp.hash_one(rng.normal(size=7))
+
+
+class TestPackBits:
+    def test_matches_powers_of_two_dot(self, rng):
+        """pack_bits is bits @ [1, 2, 4, ...] without the int64 copy."""
+        bits = rng.random((40, 9)) < 0.5
+        powers = 1 << np.arange(9, dtype=np.int64)
+        np.testing.assert_array_equal(
+            pack_bits(bits), bits.astype(np.int64) @ powers
+        )
+
+    def test_three_dimensional_input(self, rng):
+        bits = rng.random((7, 3, 5)) < 0.5
+        codes = pack_bits(bits)
+        assert codes.shape == (7, 3)
+        powers = 1 << np.arange(5, dtype=np.int64)
+        np.testing.assert_array_equal(
+            codes, bits.astype(np.int64) @ powers
+        )
+
+
+class TestFusedSRP:
+    def test_matches_per_function_hash(self, rng):
+        fns = [SignedRandomProjection(16, 6, rng) for _ in range(4)]
+        fused = FusedSRP(fns)
+        vectors = rng.normal(size=(30, 16))
+        codes = fused.hash_all(vectors)
+        assert codes.shape == (30, 4)
+        for t, fn in enumerate(fns):
+            np.testing.assert_array_equal(codes[:, t], fn.hash(vectors))
+
+    def test_mismatched_functions_rejected(self, rng):
+        fns = [
+            SignedRandomProjection(16, 6, rng),
+            SignedRandomProjection(16, 4, rng),
+        ]
+        with pytest.raises(ValueError):
+            FusedSRP(fns)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FusedSRP([])
+
+    def test_wrong_dim_raises(self, rng):
+        fused = FusedSRP([SignedRandomProjection(16, 6, rng)])
+        with pytest.raises(ValueError):
+            fused.hash_all(rng.normal(size=(5, 9)))
 
 
 class TestCollisionProbability:
