@@ -22,6 +22,11 @@ Commands
     Benchmark the dict vs flat LSH backends on the ALSH hot path and
     write the ``BENCH_lsh.json`` perf-trajectory file (``--smoke``,
     ``--check``, ``--store`` for the executor's resumable JSONL sink).
+``trace-report``
+    Train one configuration with the observability recorder attached and
+    print the span tree, the counter catalogue rollup and the measured
+    vs analytical FLOP comparison (``--store`` appends the trace record
+    to a JSONL file shareable with the executor sink).
 """
 
 from __future__ import annotations
@@ -112,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL outcome sink (enables --resume)")
     sweep.add_argument("--resume", action="store_true",
                        help="skip tasks already completed in --store")
+    sweep.add_argument("--trace", action="store_true",
+                       help="trace every task and print the merged "
+                            "counter rollup (aggregate appended to --store)")
 
     theory = sub.add_parser("theory", help="print the §7 error table")
     theory.add_argument("--c", type=float, default=5.0,
@@ -124,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
     flops.add_argument("--batch", type=int, default=20)
 
     sub.add_parser("datasets", help="list the paper benchmarks")
+
+    trace = sub.add_parser(
+        "trace-report", help="train one config with tracing and report"
+    )
+    trace.add_argument("--method", default="alsh")
+    trace.add_argument("--dataset", default="mnist", choices=benchmark_names())
+    trace.add_argument("--data-scale", type=float, default=0.02)
+    trace.add_argument("--hidden-layers", type=int, default=3)
+    trace.add_argument("--hidden-width", type=int, default=100)
+    trace.add_argument("--epochs", type=int, default=2)
+    trace.add_argument("--batch-size", type=int, default=20)
+    trace.add_argument("--lr", type=float, default=1e-3)
+    trace.add_argument("--optimizer", default="sgd")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--paper-defaults", action="store_true",
+                       help="apply the §8.4 method defaults before overrides")
+    trace.add_argument("--store",
+                       help="append the trace record to this JSONL file")
 
     from .lsh import bench as lsh_bench
 
@@ -218,6 +244,91 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_trace_report(args) -> int:
+    from .data.benchmarks import load_benchmark
+    from .harness.flops import method_step_flops
+    from .obs import (
+        InMemoryRecorder,
+        derived_metrics,
+        render_trace,
+        trace_record,
+        write_trace,
+    )
+    from .obs.counters import FLOPS_ACTUAL, LSH_CANDIDATES, TRAIN_BATCHES
+
+    if args.paper_defaults:
+        cfg = ExperimentConfig.paper_default(
+            args.method,
+            batch_size=args.batch_size,
+            dataset=args.dataset,
+            data_scale=args.data_scale,
+            hidden_layers=args.hidden_layers,
+            hidden_width=args.hidden_width,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+    else:
+        cfg = ExperimentConfig(
+            method=args.method,
+            dataset=args.dataset,
+            data_scale=args.data_scale,
+            hidden_layers=args.hidden_layers,
+            hidden_width=args.hidden_width,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            optimizer=args.optimizer,
+            seed=args.seed,
+        )
+    data = load_benchmark(cfg.dataset, scale=cfg.data_scale, seed=cfg.seed)
+    recorder = InMemoryRecorder()
+    result = run_experiment(cfg, dataset=data, recorder=recorder)
+    snapshot = result.trace
+    print(result.summary())
+    print(render_trace(snapshot, title=f"trace: {cfg.label()} on {cfg.dataset}"))
+
+    # Measured GEMM work vs the analytical per-step model.  The model
+    # includes element-wise passes and sampling overhead that the GEMM
+    # counters deliberately exclude, so the gap quantifies bookkeeping.
+    counters = snapshot["counters"]
+    steps = counters.get(TRAIN_BATCHES, 0)
+    sizes = (
+        [data.input_dim]
+        + [cfg.hidden_width] * cfg.hidden_layers
+        + [data.n_classes]
+    )
+    model = method_step_flops(
+        cfg.method, sizes, batch=cfg.batch_size, **cfg.method_kwargs
+    )
+    model_total = model.total * steps
+    measured = counters.get(FLOPS_ACTUAL, 0)
+    print("model vs measured:")
+    print(f"  analytical model   {model_total:>16,.0f} FLOPs "
+          f"({steps} steps x {model.total:,.0f})")
+    print(f"  measured (GEMM)    {measured:>16,.0f} FLOPs")
+    if measured:
+        print(f"  model/measured     {model_total / measured:>16.3f}  "
+              "(element-wise + sampling overhead vs pure GEMM)")
+
+    if args.store:
+        derived = derived_metrics(snapshot)
+        record = trace_record(
+            snapshot,
+            label=cfg.label(),
+            key=cfg.key(),
+            summary={
+                "test_accuracy": result.test_accuracy,
+                "flops.skipped": derived.get("flops.skipped", 0),
+                "lsh.candidates": counters.get(LSH_CANDIDATES, 0),
+                "model_step_flops": model.total,
+                "measured_actual_flops": measured,
+            },
+        )
+        write_trace(args.store, record)
+        print(f"trace appended to {args.store}")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from .harness.executor import ExperimentExecutor
     from .harness.sweeps import Sweep
@@ -255,15 +366,32 @@ def _cmd_sweep(args) -> int:
                 f"after {outcome.attempts} attempt(s): {reason}"
             )
 
+    from .harness.executor import run_experiment_task, run_experiment_traced
+
     executor = ExperimentExecutor(
         max_workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
         sink=args.store,
+        task_fn=run_experiment_traced if args.trace else run_experiment_task,
     )
     outcomes = executor.run(
         configs, resume=args.resume, reseed=args.reseed, callback=on_outcome
     )
+    if args.trace:
+        from .harness.executor import aggregate_traces
+        from .obs import AGGREGATE_KIND, render_counters, trace_record, write_trace
+
+        aggregate = aggregate_traces(outcomes)
+        if aggregate is not None:
+            print("merged trace counters across the sweep:")
+            print(render_counters(aggregate))
+            write_trace(
+                args.store,
+                trace_record(
+                    aggregate, label="sweep-aggregate", kind=AGGREGATE_KIND
+                ),
+            )
     rows = []
     for outcome, cfg in zip(outcomes, configs):
         acc = outcome.result.test_accuracy if outcome.ok else float("nan")
@@ -354,6 +482,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "flops": _cmd_flops,
         "datasets": _cmd_datasets,
         "lsh-bench": _cmd_lsh_bench,
+        "trace-report": _cmd_trace_report,
     }
     return handlers[args.command](args)
 

@@ -26,6 +26,8 @@ import numpy as np
 from ..nn.activations import Sigmoid
 from ..nn.losses import NLLLoss
 from ..nn.network import MLP
+from ..obs import Recorder
+from ..obs.counters import SAMPLER_MASK_KEPT, SAMPLER_MASK_POOL
 from .base import Trainer
 
 __all__ = ["AdaptiveDropoutTrainer"]
@@ -60,8 +62,11 @@ class AdaptiveDropoutTrainer(Trainer):
         beta: Optional[float] = None,
         target_keep: float = 0.05,
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
-        super().__init__(network, lr=lr, optimizer=optimizer, seed=seed)
+        super().__init__(
+            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+        )
         if not 0.0 < target_keep < 1.0:
             raise ValueError(f"target_keep must be in (0, 1), got {target_keep}")
         self.alpha = float(alpha)
@@ -102,8 +107,8 @@ class AdaptiveDropoutTrainer(Trainer):
             # Backpropagate through the pre-update output weights first.
             da = layers[-1].backprop_delta(delta)
             g_w, g_b = layers[-1].weight_gradients(activations[-1], delta)
-            self.optimizer.update(("W", n_hidden), layers[-1].W, g_w)
-            self.optimizer.update(("b", n_hidden), layers[-1].b, g_b)
+            self._update(("W", n_hidden), layers[-1].W, g_w)
+            self._update(("b", n_hidden), layers[-1].b, g_b)
             for i in range(n_hidden - 1, -1, -1):
                 # Standout treats the sampled mask as a constant in the
                 # gradient (no derivative through π).
@@ -111,8 +116,18 @@ class AdaptiveDropoutTrainer(Trainer):
                 g_w, g_b = layers[i].weight_gradients(activations[i], delta_i)
                 if i > 0:
                     da = layers[i].backprop_delta(delta_i)
-                self.optimizer.update(("W", i), layers[i].W, g_w)
-                self.optimizer.update(("b", i), layers[i].b, g_b)
+                self._update(("W", i), layers[i].W, g_w)
+                self._update(("b", i), layers[i].b, g_b)
+        if self.obs.enabled:
+            # Standout's defining cost: every product is computed densely
+            # (the mask needs the full pre-activation), so nothing is
+            # skipped — the mask statistics are the interesting signal.
+            self._record_step_flops(
+                x.shape[0], [layer.n_out for layer in layers]
+            )
+            for mask in masks:
+                self.obs.add(SAMPLER_MASK_KEPT, int(mask.sum()))
+                self.obs.add(SAMPLER_MASK_POOL, int(mask.size))
         return loss
 
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -31,6 +31,13 @@ from ..lsh.mips import MIPSIndex
 from ..lsh.rebuild import RebuildScheduler
 from ..nn.activations import LogSoftmax
 from ..nn.network import MLP
+from ..obs import Recorder
+from ..obs.counters import (
+    LSH_ACTIVE_NODES,
+    LSH_ACTIVE_POOL,
+    LSH_REBUILDS,
+    LSH_REHASHED_COLUMNS,
+)
 from .base import Trainer
 
 __all__ = ["ALSHApproxTrainer"]
@@ -97,8 +104,11 @@ class ALSHApproxTrainer(Trainer):
         drift_threshold: Optional[float] = None,
         batch_mode: str = "per_sample",
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
-        super().__init__(network, lr=lr, optimizer=optimizer, seed=seed)
+        super().__init__(
+            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+        )
         if not 0.0 < min_active_frac <= max_active_frac <= 1.0:
             raise ValueError(
                 "need 0 < min_active_frac <= max_active_frac <= 1, got "
@@ -126,6 +136,7 @@ class ALSHApproxTrainer(Trainer):
                 family=hash_family,
                 seed=int(self.rng.integers(2**31)),
                 backend=backend,
+                recorder=self.obs,
             )
             index.build(layer.W.T)  # items are weight columns
             self.indexes.append(index)
@@ -163,6 +174,9 @@ class ALSHApproxTrainer(Trainer):
             )
             extra = self.rng.choice(pool, size=lo - candidates.size, replace=False)
             candidates = np.union1d(candidates, extra)
+        if self.obs.enabled:
+            self.obs.add(LSH_ACTIVE_NODES, int(candidates.size))
+            self.obs.add(LSH_ACTIVE_POOL, int(layer.n_out))
         return candidates
 
     def average_active_fraction(self) -> np.ndarray:
@@ -209,6 +223,9 @@ class ALSHApproxTrainer(Trainer):
             pool = np.setdiff1d(np.arange(layer.n_out), candidates)
             extra = self.rng.choice(pool, size=lo - candidates.size, replace=False)
             candidates = np.union1d(candidates, extra)
+        if self.obs.enabled:
+            self.obs.add(LSH_ACTIVE_NODES, int(candidates.size))
+            self.obs.add(LSH_ACTIVE_POOL, int(layer.n_out))
         return candidates
 
     def _train_union(self, x: np.ndarray, y: np.ndarray) -> float:
@@ -244,8 +261,8 @@ class ALSHApproxTrainer(Trainer):
             da = delta @ layers[-1].W.T
             g_w = acts[-1].T @ delta
             g_b = delta.sum(axis=0)
-            self.optimizer.update(("W", self.n_hidden), layers[-1].W, g_w)
-            self.optimizer.update(("b", self.n_hidden), layers[-1].b, g_b)
+            self._update(("W", self.n_hidden), layers[-1].W, g_w)
+            self._update(("b", self.n_hidden), layers[-1].b, g_b)
             for i in range(self.n_hidden - 1, -1, -1):
                 cand = active_sets[i]
                 delta_c = da[:, cand] * act.derivative(z_actives[i])
@@ -253,11 +270,16 @@ class ALSHApproxTrainer(Trainer):
                 g_b_cols = delta_c.sum(axis=0)
                 if i > 0:
                     da = delta_c @ layers[i].W[:, cand].T
-                self.optimizer.update(("W", i), layers[i].W, g_w_cols, index=cand)
-                self.optimizer.update(("b", i), layers[i].b, g_b_cols, index=cand)
+                self._update(("W", i), layers[i].W, g_w_cols, index=cand)
+                self._update(("b", i), layers[i].b, g_b_cols, index=cand)
                 self._touched[i].update(cand.tolist())
             if self.rebuild.record(batch):
                 self._refresh_tables()
+        if self.obs.enabled:
+            self._record_step_flops(
+                batch,
+                [cand.size for cand in active_sets] + [layers[-1].n_out],
+            )
         return loss
 
     def _train_one(self, x: np.ndarray, y: int) -> float:
@@ -292,19 +314,23 @@ class ALSHApproxTrainer(Trainer):
             # Backpropagate through the pre-update weights first.
             da = layers[-1].W @ delta
             g_w = np.outer(acts[-1], delta)
-            self.optimizer.update(("W", self.n_hidden), layers[-1].W, g_w)
-            self.optimizer.update(("b", self.n_hidden), layers[-1].b, delta)
+            self._update(("W", self.n_hidden), layers[-1].W, g_w)
+            self._update(("b", self.n_hidden), layers[-1].b, delta)
             for i in range(self.n_hidden - 1, -1, -1):
                 cand = active_sets[i]
                 delta_c = da[cand] * act.derivative(z_actives[i])
                 g_w_cols = np.outer(acts[i], delta_c)
-                self.optimizer.update(("W", i), layers[i].W, g_w_cols, index=cand)
-                self.optimizer.update(("b", i), layers[i].b, delta_c, index=cand)
+                self._update(("W", i), layers[i].W, g_w_cols, index=cand)
+                self._update(("b", i), layers[i].b, delta_c, index=cand)
                 self._touched[i].update(cand.tolist())
                 if i > 0:
                     da = layers[i].W[:, cand] @ delta_c
             if self.rebuild.record(1):
                 self._refresh_tables()
+        if self.obs.enabled:
+            self._record_step_flops(
+                1, [cand.size for cand in active_sets] + [layers[-1].n_out]
+            )
         return loss
 
     def _refresh_tables(self) -> None:
@@ -314,6 +340,7 @@ class ALSHApproxTrainer(Trainer):
         actually drifted are re-hashed (the rest would land in the same
         buckets anyway).
         """
+        self.obs.add(LSH_REBUILDS)
         for i, touched in enumerate(self._touched):
             if not touched:
                 continue
@@ -323,6 +350,7 @@ class ALSHApproxTrainer(Trainer):
             if ids.size:
                 self.indexes[i].update(ids, self.net.layers[i].W[:, ids].T)
                 self.rehashed_columns += int(ids.size)
+                self.obs.add(LSH_REHASHED_COLUMNS, int(ids.size))
                 if self._drift is not None:
                     self._drift[i].mark_rehashed(self.net.layers[i].W, ids)
             touched.clear()

@@ -21,6 +21,18 @@ from ..nn.losses import NLLLoss
 from ..nn.metrics import accuracy
 from ..nn.network import MLP
 from ..nn.optim import Optimizer, get_optimizer
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.counters import (
+    FLOPS_ACTUAL,
+    FLOPS_DENSE,
+    OPT_DENSE_UPDATES,
+    OPT_LAZY_UPDATE_COLS,
+    OPT_LAZY_UPDATE_HITS,
+    TRAIN_BATCHES,
+    TRAIN_EPOCHS,
+    TRAIN_SAMPLES,
+    gemm_flops,
+)
 
 __all__ = ["EpochStats", "History", "Trainer"]
 
@@ -90,6 +102,12 @@ class Trainer:
         Name or instance (paper: SGD for most methods, Adam for ALSH).
     seed:
         Seed for the trainer's own sampling randomness.
+    recorder:
+        Observability sink (:mod:`repro.obs`).  Defaults to the shared
+        :data:`~repro.obs.NULL_RECORDER`, under which every
+        instrumentation site is a no-op and training is bitwise
+        identical to the uninstrumented code (enforced by
+        ``tests/obs/test_noop.py``).
     """
 
     name = "base"
@@ -100,11 +118,13 @@ class Trainer:
         lr: float = 1e-3,
         optimizer="sgd",
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.net = network
         self.optimizer: Optimizer = get_optimizer(optimizer, lr)
         self.loss_fn = NLLLoss()
         self.rng = np.random.default_rng(seed)
+        self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
         self._t_fwd = 0.0
         self._t_bwd = 0.0
 
@@ -112,11 +132,12 @@ class Trainer:
     # phase timing helpers
     # ------------------------------------------------------------------
     class _PhaseTimer:
-        __slots__ = ("_trainer", "_attr", "_start")
+        __slots__ = ("_trainer", "_attr", "_phase", "_start")
 
-        def __init__(self, trainer: "Trainer", attr: str):
+        def __init__(self, trainer: "Trainer", attr: str, phase: str):
             self._trainer = trainer
             self._attr = attr
+            self._phase = phase
 
         def __enter__(self):
             self._start = time.perf_counter()
@@ -129,15 +150,57 @@ class Trainer:
                 self._attr,
                 getattr(self._trainer, self._attr) + elapsed,
             )
+            self._trainer.obs.add_time(self._phase, elapsed)
             return False
 
     def _time_forward(self) -> "_PhaseTimer":
         """Context manager accumulating into the forward-phase clock."""
-        return Trainer._PhaseTimer(self, "_t_fwd")
+        return Trainer._PhaseTimer(self, "_t_fwd", "phase.forward")
 
     def _time_backward(self) -> "_PhaseTimer":
         """Context manager accumulating into the backward-phase clock."""
-        return Trainer._PhaseTimer(self, "_t_bwd")
+        return Trainer._PhaseTimer(self, "_t_bwd", "phase.backward")
+
+    # ------------------------------------------------------------------
+    # optimiser dispatch (counts dense vs lazy sparse-column updates)
+    # ------------------------------------------------------------------
+    def _update(self, key, param, grad, index=None) -> None:
+        """Apply an optimiser step, recording dense vs lazy-column hits."""
+        if index is None:
+            self.obs.add(OPT_DENSE_UPDATES)
+        else:
+            self.obs.add(OPT_LAZY_UPDATE_HITS)
+            if self.obs.enabled:
+                self.obs.add(OPT_LAZY_UPDATE_COLS, int(np.size(index)))
+        self.optimizer.update(key, param, grad, index=index)
+
+    # ------------------------------------------------------------------
+    # measured-FLOP accounting
+    # ------------------------------------------------------------------
+    def _record_step_flops(self, batch: int, kept: List[int]) -> None:
+        """Record dense-equivalent vs actual GEMM FLOPs for one step.
+
+        ``kept[i]`` is the number of output columns layer ``i`` actually
+        computed (its full ``n_out`` for unsampled layers).  Per layer the
+        step costs a forward product, a weight-gradient product and — for
+        every layer but the first — a delta-propagation product; each
+        scales linearly in the kept-column count.  GEMM work only, by the
+        conventions of :mod:`repro.obs.counters`.
+        """
+        if not self.obs.enabled:
+            return
+        dense = actual = 0
+        for i, layer in enumerate(self.net.layers):
+            k = int(kept[i])
+            dense += gemm_flops(batch, layer.n_in, layer.n_out)  # forward
+            actual += gemm_flops(batch, layer.n_in, k)
+            dense += gemm_flops(layer.n_in, batch, layer.n_out)  # gW
+            actual += gemm_flops(layer.n_in, batch, k)
+            if i > 0:  # delta propagation
+                dense += gemm_flops(batch, layer.n_out, layer.n_in)
+                actual += gemm_flops(batch, k, layer.n_in)
+        self.obs.add(FLOPS_DENSE, dense)
+        self.obs.add(FLOPS_ACTUAL, actual)
 
     # ------------------------------------------------------------------
     # training
@@ -192,42 +255,51 @@ class Trainer:
         history = History(method=self.name)
         best_val = -np.inf
         epochs_since_best = 0
-        for epoch in range(epochs):
-            if lr_schedule is not None:
-                self.optimizer.lr = float(lr_schedule(epoch))
-            self._t_fwd = 0.0
-            self._t_bwd = 0.0
-            start = time.perf_counter()
-            losses = []
-            for xb, yb in loader:
-                losses.append(self.train_batch(xb, yb))
-            elapsed = time.perf_counter() - start
-            val_acc = None
-            if x_val is not None and y_val is not None and len(y_val):
-                val_acc = self.evaluate(x_val, y_val)
-            stats = EpochStats(
-                epoch=epoch,
-                loss=float(np.mean(losses)),
-                time=elapsed,
-                forward_time=self._t_fwd,
-                backward_time=self._t_bwd,
-                val_accuracy=val_acc,
-            )
-            history.epochs.append(stats)
-            if verbose:
-                acc_str = "" if val_acc is None else f", val_acc={val_acc:.4f}"
-                print(
-                    f"[{self.name}] epoch {epoch}: loss={stats.loss:.4f}, "
-                    f"time={elapsed:.3f}s{acc_str}"
+        with self.obs.span("fit"):
+            for epoch in range(epochs):
+                if lr_schedule is not None:
+                    self.optimizer.lr = float(lr_schedule(epoch))
+                self._t_fwd = 0.0
+                self._t_bwd = 0.0
+                start = time.perf_counter()
+                losses = []
+                with self.obs.span("epoch"):
+                    for xb, yb in loader:
+                        losses.append(self.train_batch(xb, yb))
+                elapsed = time.perf_counter() - start
+                self.obs.add(TRAIN_EPOCHS)
+                if self.obs.enabled:
+                    self.obs.add(TRAIN_BATCHES, len(losses))
+                    self.obs.add(TRAIN_SAMPLES, int(len(y_train)))
+                val_acc = None
+                if x_val is not None and y_val is not None and len(y_val):
+                    with self.obs.span("validate"):
+                        val_acc = self.evaluate(x_val, y_val)
+                stats = EpochStats(
+                    epoch=epoch,
+                    loss=float(np.mean(losses)),
+                    time=elapsed,
+                    forward_time=self._t_fwd,
+                    backward_time=self._t_bwd,
+                    val_accuracy=val_acc,
                 )
-            if early_stopping_patience is not None:
-                if val_acc is not None and val_acc > best_val:
-                    best_val = val_acc
-                    epochs_since_best = 0
-                else:
-                    epochs_since_best += 1
-                    if epochs_since_best >= early_stopping_patience:
-                        break
+                history.epochs.append(stats)
+                if verbose:
+                    acc_str = (
+                        "" if val_acc is None else f", val_acc={val_acc:.4f}"
+                    )
+                    print(
+                        f"[{self.name}] epoch {epoch}: loss={stats.loss:.4f}, "
+                        f"time={elapsed:.3f}s{acc_str}"
+                    )
+                if early_stopping_patience is not None:
+                    if val_acc is not None and val_acc > best_val:
+                        best_val = val_acc
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+                        if epochs_since_best >= early_stopping_patience:
+                            break
         return history
 
     # ------------------------------------------------------------------

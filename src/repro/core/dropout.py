@@ -20,6 +20,8 @@ import numpy as np
 
 from ..nn.losses import NLLLoss
 from ..nn.network import MLP
+from ..obs import Recorder
+from ..obs.counters import SAMPLER_COLS_KEPT, SAMPLER_COLS_POOL
 from .base import Trainer
 
 __all__ = ["DropoutTrainer"]
@@ -51,8 +53,11 @@ class DropoutTrainer(Trainer):
         keep_prob: float = 0.05,
         min_active: int = 1,
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
-        super().__init__(network, lr=lr, optimizer=optimizer, seed=seed)
+        super().__init__(
+            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+        )
         if not 0.0 < keep_prob <= 1.0:
             raise ValueError(f"keep_prob must be in (0, 1], got {keep_prob}")
         if min_active < 1:
@@ -103,8 +108,8 @@ class DropoutTrainer(Trainer):
             # Backpropagate through the pre-update weights first.
             da = layers[-1].backprop_delta(delta)
             g_w, g_b = layers[-1].weight_gradients(activations[-1], delta)
-            self.optimizer.update(("W", n_hidden), layers[-1].W, g_w)
-            self.optimizer.update(("b", n_hidden), layers[-1].b, g_b)
+            self._update(("W", n_hidden), layers[-1].W, g_w)
+            self._update(("b", n_hidden), layers[-1].b, g_b)
             # Hidden layers: column-sparse gradients over the kept sets.
             for i in range(n_hidden - 1, -1, -1):
                 layer = layers[i]
@@ -115,8 +120,16 @@ class DropoutTrainer(Trainer):
                 )
                 if i > 0:
                     da = layer.backprop_delta_columns(delta_cols, cols)
-                self.optimizer.update(("W", i), layer.W, g_w_cols, index=cols)
-                self.optimizer.update(("b", i), layer.b, g_b_cols, index=cols)
+                self._update(("W", i), layer.W, g_w_cols, index=cols)
+                self._update(("b", i), layer.b, g_b_cols, index=cols)
+        if self.obs.enabled:
+            self._record_step_flops(
+                x.shape[0],
+                [cols.size for cols in active_sets] + [layers[-1].n_out],
+            )
+            for i in range(n_hidden):
+                self.obs.add(SAMPLER_COLS_KEPT, int(active_sets[i].size))
+                self.obs.add(SAMPLER_COLS_POOL, int(layers[i].n_out))
         return loss
 
     # ------------------------------------------------------------------

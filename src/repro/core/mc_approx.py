@@ -32,6 +32,14 @@ import numpy as np
 from ..approx.bernoulli import bernoulli_probabilities, bernoulli_sample
 from ..nn.losses import NLLLoss
 from ..nn.network import MLP
+from ..obs import Recorder
+from ..obs.counters import (
+    FLOPS_ACTUAL,
+    FLOPS_DENSE,
+    SAMPLER_ROWS_KEPT,
+    SAMPLER_ROWS_POOL,
+    gemm_flops,
+)
 from .base import Trainer
 
 __all__ = ["MCApproxTrainer"]
@@ -71,8 +79,11 @@ class MCApproxTrainer(Trainer):
         min_node_samples: int = 32,
         approximate_forward: bool = False,
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
-        super().__init__(network, lr=lr, optimizer=optimizer, seed=seed)
+        super().__init__(
+            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+        )
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         if not 0.0 < node_frac <= 1.0:
@@ -100,6 +111,11 @@ class MCApproxTrainer(Trainer):
         budget = min(max(budget, 1), inner)
         probs = bernoulli_probabilities(a, b, budget)
         idx, scales = bernoulli_sample(probs, self.rng)
+        if self.obs.enabled:
+            self.obs.add(SAMPLER_ROWS_KEPT, int(idx.size))
+            self.obs.add(SAMPLER_ROWS_POOL, int(inner))
+            self.obs.add(FLOPS_DENSE, gemm_flops(a.shape[0], inner, b.shape[1]))
+            self.obs.add(FLOPS_ACTUAL, gemm_flops(a.shape[0], idx.size, b.shape[1]))
         if idx.size == 0:
             return np.zeros((a.shape[0], b.shape[1]))
         return (a[:, idx] * scales) @ b[idx, :]
@@ -154,6 +170,16 @@ class MCApproxTrainer(Trainer):
                         delta, layer.W.T, self._node_budget(layer.n_out)
                     )
                     delta = da * act.derivative(zs[i - 1])
-                self.optimizer.update(("W", i), layer.W, g_w)
-                self.optimizer.update(("b", i), layer.b, g_b)
+                self._update(("W", i), layer.W, g_w)
+                self._update(("b", i), layer.b, g_b)
+        if self.obs.enabled:
+            # Sampled products account for themselves inside
+            # _sampled_matmul; only the exact forward GEMMs remain
+            # (dense == actual — the feedforward pass is never skipped).
+            for i, layer in enumerate(layers):
+                if self.approximate_forward and i < n_layers - 1:
+                    continue
+                flops = gemm_flops(batch, layer.n_in, layer.n_out)
+                self.obs.add(FLOPS_DENSE, flops)
+                self.obs.add(FLOPS_ACTUAL, flops)
         return loss

@@ -28,6 +28,11 @@ class StandardTrainer(Trainer):
             grads = self.net.backward(cache, y)
             for i, (g_w, g_b) in enumerate(grads):
                 layer = self.net.layers[i]
-                self.optimizer.update(("W", i), layer.W, g_w)
-                self.optimizer.update(("b", i), layer.b, g_b)
+                self._update(("W", i), layer.W, g_w)
+                self._update(("b", i), layer.b, g_b)
+        # Exact training: the dense-equivalent work IS the actual work.
+        self._record_step_flops(
+            np.atleast_2d(x).shape[0],
+            [layer.n_out for layer in self.net.layers],
+        )
         return loss

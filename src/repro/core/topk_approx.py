@@ -22,6 +22,8 @@ import numpy as np
 
 from ..nn.activations import LogSoftmax
 from ..nn.network import MLP
+from ..obs import Recorder
+from ..obs.counters import SAMPLER_COLS_KEPT, SAMPLER_COLS_POOL
 from .base import Trainer
 
 __all__ = ["TopKApproxTrainer"]
@@ -46,8 +48,11 @@ class TopKApproxTrainer(Trainer):
         optimizer="adam",
         active_frac: float = 0.25,
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ):
-        super().__init__(network, lr=lr, optimizer=optimizer, seed=seed)
+        super().__init__(
+            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+        )
         if not 0.0 < active_frac <= 1.0:
             raise ValueError(f"active_frac must be in (0, 1], got {active_frac}")
         self.active_frac = float(active_frac)
@@ -100,16 +105,26 @@ class TopKApproxTrainer(Trainer):
             delta[y] -= 1.0
             da = layers[-1].W @ delta
             g_w = np.outer(acts[-1], delta)
-            self.optimizer.update(("W", self.n_hidden), layers[-1].W, g_w)
-            self.optimizer.update(("b", self.n_hidden), layers[-1].b, delta)
+            self._update(("W", self.n_hidden), layers[-1].W, g_w)
+            self._update(("b", self.n_hidden), layers[-1].b, delta)
             for i in range(self.n_hidden - 1, -1, -1):
                 cand = active_sets[i]
                 delta_c = da[cand] * act.derivative(z_actives[i])
                 g_w_cols = np.outer(acts[i], delta_c)
-                self.optimizer.update(("W", i), layers[i].W, g_w_cols, index=cand)
-                self.optimizer.update(("b", i), layers[i].b, delta_c, index=cand)
+                self._update(("W", i), layers[i].W, g_w_cols, index=cand)
+                self._update(("b", i), layers[i].b, delta_c, index=cand)
                 if i > 0:
                     da = layers[i].W[:, cand] @ delta_c
+        if self.obs.enabled:
+            # The selector itself is exact MIPS (a full product), so
+            # flops.actual understates the oracle's true cost — that is the
+            # point: it measures what a *perfect* selector would save.
+            self._record_step_flops(
+                1, [cand.size for cand in active_sets] + [layers[-1].n_out]
+            )
+            for i in range(self.n_hidden):
+                self.obs.add(SAMPLER_COLS_KEPT, int(active_sets[i].size))
+                self.obs.add(SAMPLER_COLS_POOL, int(layers[i].n_out))
         return loss
 
     # ------------------------------------------------------------------

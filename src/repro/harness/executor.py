@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..data.datasets import Dataset
+from ..obs import InMemoryRecorder, merge_snapshots
 from .config import ExperimentConfig
 from .experiment import ExperimentResult, run_experiment
 from .results import result_from_dict, result_to_dict
@@ -55,6 +56,8 @@ __all__ = [
     "derive_task_seeds",
     "task_key",
     "run_experiment_task",
+    "run_experiment_traced",
+    "aggregate_traces",
 ]
 
 
@@ -90,6 +93,34 @@ def task_key(task: Any) -> str:
 def run_experiment_task(config: ExperimentConfig, dataset: Optional[Dataset]):
     """Default task function: one full :func:`run_experiment` call."""
     return run_experiment(config, dataset=dataset)
+
+
+def run_experiment_traced(config: ExperimentConfig, dataset: Optional[Dataset]):
+    """Task function that traces the run with a worker-local recorder.
+
+    Each worker process gets its own :class:`~repro.obs.InMemoryRecorder`,
+    so no cross-process synchronisation is needed; the snapshot rides back
+    to the parent inside ``ExperimentResult.trace`` (and therefore through
+    the JSONL sink), where :func:`aggregate_traces` can merge the sweep.
+    """
+    return run_experiment(config, dataset=dataset, recorder=InMemoryRecorder())
+
+
+def aggregate_traces(outcomes: Sequence["TaskOutcome"]) -> Optional[dict]:
+    """Merged trace snapshot across a sweep's usable outcomes.
+
+    Counters sum, gauges keep their high-water mark, timings and spans sum
+    count and total — see :func:`repro.obs.merge_snapshots`.  Returns None
+    when no outcome carries a trace.
+    """
+    snapshots = [
+        outcome.result.trace
+        for outcome in outcomes
+        if outcome.ok and isinstance(outcome.result, ExperimentResult)
+    ]
+    if not any(snapshots):
+        return None
+    return merge_snapshots(snapshots)
 
 
 @dataclass

@@ -25,6 +25,7 @@ from ..nn.metrics import (
     prediction_entropy,
 )
 from ..nn.network import MLP
+from ..obs import Recorder
 from .config import ExperimentConfig
 
 __all__ = ["ExperimentResult", "build_network", "run_experiment"]
@@ -42,6 +43,9 @@ class ExperimentResult:
     n_distinct_predictions: int
     train_time: float
     memory_breakdown: Dict[str, int]
+    #: recorder snapshot (counters/gauges/timings/spans) when the run was
+    #: traced; None for untraced runs.
+    trace: Optional[dict] = None
 
     @property
     def time_per_epoch(self) -> float:
@@ -70,13 +74,20 @@ def build_network(config: ExperimentConfig, dataset: Dataset) -> MLP:
 
 
 def run_experiment(
-    config: ExperimentConfig, dataset: Optional[Dataset] = None
+    config: ExperimentConfig,
+    dataset: Optional[Dataset] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ExperimentResult:
     """Train per the config and evaluate on the test split.
 
     ``dataset`` may be passed in to share one generated dataset across many
     configs (the benches do this); otherwise it is generated from the
     config's ``dataset``/``data_scale``/``seed``.
+
+    ``recorder`` threads an observability sink (:mod:`repro.obs`) through
+    the trainer; its snapshot is attached to the result as ``trace``.
+    Without one, training runs with the no-op recorder and ``trace`` is
+    None.
     """
     if dataset is None:
         dataset = load_benchmark(config.dataset, scale=config.data_scale, seed=config.seed)
@@ -87,6 +98,7 @@ def run_experiment(
         lr=config.lr,
         optimizer=config.optimizer,
         seed=config.seed,
+        recorder=recorder,
         **config.method_kwargs,
     )
     start = time.perf_counter()
@@ -120,4 +132,5 @@ def run_experiment(
         n_distinct_predictions=distinct_predictions(preds),
         train_time=train_time,
         memory_breakdown=memory,
+        trace=recorder.snapshot() if recorder is not None and recorder.enabled else None,
     )

@@ -37,6 +37,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "n_distinct_predictions": result.n_distinct_predictions,
         "train_time": result.train_time,
         "memory_breakdown": {k: int(v) for k, v in result.memory_breakdown.items()},
+        "trace": result.trace,
     }
 
 
@@ -56,6 +57,7 @@ def result_from_dict(payload: dict) -> ExperimentResult:
         n_distinct_predictions=int(payload["n_distinct_predictions"]),
         train_time=float(payload["train_time"]),
         memory_breakdown=dict(payload["memory_breakdown"]),
+        trace=payload.get("trace"),
     )
 
 

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs import Recorder
 from .alsh import AsymmetricTransform
 from .tables import LSHIndex
 
@@ -55,6 +56,9 @@ class MIPSIndex:
         behaviour, kept for the ablation).  Default False: updates reuse
         the global scaling fitted by the last :meth:`build`, so
         incremental re-hashing matches a fresh full build.
+    recorder:
+        Observability sink forwarded to the underlying :class:`LSHIndex`
+        (query/candidate/update counters).
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class MIPSIndex:
         seed: Optional[int] = None,
         backend: str = "dict",
         refit_subset_scale: bool = False,
+        recorder: Optional[Recorder] = None,
     ):
         self.transform = AsymmetricTransform(m=m, scale=scale)
         self.index = LSHIndex(
@@ -77,6 +82,7 @@ class MIPSIndex:
             family=family,
             seed=seed,
             backend=backend,
+            recorder=recorder,
         )
         self.dim = int(dim)
         self.refit_subset_scale = bool(refit_subset_scale)

@@ -14,6 +14,16 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.counters import (
+    LSH_BUCKET_MAX_LOAD,
+    LSH_BUCKETS_OCCUPIED,
+    LSH_BUILDS,
+    LSH_CANDIDATES,
+    LSH_QUERIES,
+    LSH_REHASHED_ITEMS,
+    LSH_UPDATES,
+)
 from .dwta import DensifiedWTA
 from .flat import FlatHashTables
 from .srp import SignedRandomProjection
@@ -103,6 +113,10 @@ class LSHIndex:
         fused all-table hashing — see :mod:`repro.lsh.flat`).  Both return
         identical candidate sets for identical seeds; "flat" is several
         times faster on batched queries and bulk builds.
+    recorder:
+        Observability sink (:mod:`repro.obs`); counts queries, candidate
+        volume, builds and incremental re-hashes.  Defaults to the no-op
+        :data:`~repro.obs.NULL_RECORDER`.
     """
 
     def __init__(
@@ -114,6 +128,7 @@ class LSHIndex:
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         backend: str = "dict",
+        recorder: Optional[Recorder] = None,
     ):
         if n_tables <= 0:
             raise ValueError(f"n_tables must be positive, got {n_tables}")
@@ -127,6 +142,7 @@ class LSHIndex:
         self.n_tables = int(n_tables)
         self.family = family
         self.backend = backend
+        self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
         # Both backends draw their hash functions from the rng in the same
         # order, so the same seed hashes identically under either.
         if backend == "flat":
@@ -149,14 +165,29 @@ class LSHIndex:
         vectors = np.atleast_2d(vectors)
         if self.flat is not None:
             self.flat.build(vectors)
-            return
-        ids = np.arange(vectors.shape[0])
-        for table in self.tables:
-            table.clear()
-            table.insert(ids, vectors)
+        else:
+            ids = np.arange(vectors.shape[0])
+            for table in self.tables:
+                table.clear()
+                table.insert(ids, vectors)
+        self.obs.add(LSH_BUILDS)
+        if self.obs.enabled:
+            loads = self.bucket_loads()
+            if any(load.size for load in loads):
+                self.obs.gauge(
+                    LSH_BUCKET_MAX_LOAD,
+                    max(int(load.max()) for load in loads if load.size),
+                )
+                self.obs.gauge(
+                    LSH_BUCKETS_OCCUPIED,
+                    sum(int(load.size) for load in loads),
+                )
 
     def update(self, ids: np.ndarray, vectors: np.ndarray) -> None:
         """Re-insert only the given items (after their vectors changed)."""
+        self.obs.add(LSH_UPDATES)
+        if self.obs.enabled:
+            self.obs.add(LSH_REHASHED_ITEMS, int(np.size(ids)))
         if self.flat is not None:
             self.flat.update(ids, vectors)
             return
@@ -166,24 +197,35 @@ class LSHIndex:
     def query(self, vector: np.ndarray) -> np.ndarray:
         """Union of colliding ids across all L tables, sorted."""
         if self.flat is not None:
-            return self.flat.query(vector)
-        hits: Set[int] = set()
-        for table in self.tables:
-            hits |= table.query(vector)
-        return np.fromiter(sorted(hits), dtype=np.int64, count=len(hits))
+            result = self.flat.query(vector)
+        else:
+            hits: Set[int] = set()
+            for table in self.tables:
+                hits |= table.query(vector)
+            result = np.fromiter(sorted(hits), dtype=np.int64, count=len(hits))
+        self.obs.add(LSH_QUERIES)
+        if self.obs.enabled:
+            self.obs.add(LSH_CANDIDATES, int(result.size))
+        return result
 
     def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:
         """Per-query candidate sets for a batch."""
         vectors = np.atleast_2d(vectors)
         if self.flat is not None:
-            return self.flat.query_batch(vectors)
-        per_table = [table.query_batch(vectors) for table in self.tables]
-        results = []
-        for i in range(vectors.shape[0]):
-            hits: Set[int] = set()
-            for table_hits in per_table:
-                hits |= table_hits[i]
-            results.append(np.fromiter(sorted(hits), dtype=np.int64, count=len(hits)))
+            results = self.flat.query_batch(vectors)
+        else:
+            per_table = [table.query_batch(vectors) for table in self.tables]
+            results = []
+            for i in range(vectors.shape[0]):
+                hits: Set[int] = set()
+                for table_hits in per_table:
+                    hits |= table_hits[i]
+                results.append(
+                    np.fromiter(sorted(hits), dtype=np.int64, count=len(hits))
+                )
+        if self.obs.enabled:
+            self.obs.add(LSH_QUERIES, len(results))
+            self.obs.add(LSH_CANDIDATES, int(sum(r.size for r in results)))
         return results
 
     def bucket_loads(self) -> List[np.ndarray]:

@@ -1,9 +1,12 @@
-"""Model persistence: save/load MLP weights and architecture.
+"""Model persistence: save/load MLP and ConvClassifier checkpoints.
 
 Models are stored as NumPy ``.npz`` archives holding the architecture
 metadata plus every layer's weight matrix and bias, so a trained network
 survives a process restart — needed for the longer paper-scale runs and
-for comparing checkpoints across training methods.
+for comparing checkpoints across training methods.  The convolutional
+variant additionally records each conv stage's kernels, stride/padding
+and pool size, so the §8.4 "exact conv front-end + approximated head"
+protocol can resume from a trained extractor.
 """
 
 from __future__ import annotations
@@ -14,11 +17,39 @@ from typing import Union
 
 import numpy as np
 
+from .conv import ConvClassifier, ConvFeatureExtractor
 from .network import MLP
 
-__all__ = ["save_mlp", "load_mlp"]
+__all__ = ["save_mlp", "load_mlp", "save_conv", "load_conv"]
 
 _FORMAT_VERSION = 1
+_MLP_KIND = "mlp"
+_CONV_KIND = "conv_classifier"
+
+
+def _normalise_path(path: Union[str, Path]) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def _read_meta(archive, path: Path, expected_kind: str) -> dict:
+    if "meta" not in archive:
+        raise ValueError(f"{path} is not a saved model (no meta entry)")
+    meta = json.loads(archive["meta"].tobytes().decode())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {meta.get('format_version')!r}"
+        )
+    # Archives written before the conv checkpoint existed carry no kind
+    # marker; they are all MLPs.
+    kind = meta.get("kind", _MLP_KIND)
+    if kind != expected_kind:
+        raise ValueError(
+            f"{path} holds a {kind!r} checkpoint, expected {expected_kind!r}"
+        )
+    return meta
 
 
 def save_mlp(net: MLP, path: Union[str, Path]) -> Path:
@@ -26,11 +57,10 @@ def save_mlp(net: MLP, path: Union[str, Path]) -> Path:
 
     Returns the path actually written.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _normalise_path(path)
     meta = {
         "format_version": _FORMAT_VERSION,
+        "kind": _MLP_KIND,
         "layer_sizes": list(net.layer_sizes),
         "hidden_activation": net.hidden_activation.name,
         "output_activation": net.output_activation.name,
@@ -44,34 +74,102 @@ def save_mlp(net: MLP, path: Union[str, Path]) -> Path:
     return path
 
 
+def _restore_mlp(archive, path: Path, meta: dict, prefix: str = "") -> MLP:
+    net = MLP(
+        meta["layer_sizes"],
+        hidden_activation=meta["hidden_activation"],
+        output_activation=meta["output_activation"],
+        seed=0,
+    )
+    for i, layer in enumerate(net.layers):
+        w = archive[f"{prefix}W{i}"]
+        b = archive[f"{prefix}b{i}"]
+        if w.shape != layer.W.shape or b.shape != layer.b.shape:
+            raise ValueError(f"layer {i} shape mismatch in {path}")
+        layer.W = w.copy()
+        layer.b = b.copy()
+    return net
+
+
 def load_mlp(path: Union[str, Path]) -> MLP:
     """Load a network saved by :func:`save_mlp`.
 
-    Raises ``ValueError`` for missing/corrupt archives or unknown format
-    versions.
+    Raises ``ValueError`` for missing/corrupt archives, unknown format
+    versions, or archives holding a different model kind.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
     with np.load(path) as archive:
-        if "meta" not in archive:
-            raise ValueError(f"{path} is not a saved MLP (no meta entry)")
-        meta = json.loads(archive["meta"].tobytes().decode())
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported format version {meta.get('format_version')!r}"
-            )
-        net = MLP(
-            meta["layer_sizes"],
-            hidden_activation=meta["hidden_activation"],
-            output_activation=meta["output_activation"],
+        meta = _read_meta(archive, path, _MLP_KIND)
+        return _restore_mlp(archive, path, meta)
+
+
+def save_conv(model: ConvClassifier, path: Union[str, Path]) -> Path:
+    """Serialise a :class:`ConvClassifier` to ``path`` (``.npz``).
+
+    Stores every conv stage's kernel bank, bias, stride/padding and pool
+    size alongside the MLP head (prefixed ``head_``), so the loaded model
+    is bit-identical to the saved one.  Returns the path actually written.
+    """
+    path = _normalise_path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": _CONV_KIND,
+        "lr": model.lr,
+        "stages": [
+            {"stride": conv.stride, "pad": conv.pad, "pool": pool.size}
+            for conv, pool in model.extractor.stages
+        ],
+        "head": {
+            "layer_sizes": list(model.head.layer_sizes),
+            "hidden_activation": model.head.hidden_activation.name,
+            "output_activation": model.head.output_activation.name,
+        },
+    }
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    for i, (conv, _) in enumerate(model.extractor.stages):
+        arrays[f"K{i}"] = conv.kernels
+        arrays[f"cb{i}"] = conv.bias
+    for i, layer in enumerate(model.head.layers):
+        arrays[f"head_W{i}"] = layer.W
+        arrays[f"head_b{i}"] = layer.b
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_conv(path: Union[str, Path]) -> ConvClassifier:
+    """Load a classifier saved by :func:`save_conv`.
+
+    Raises ``ValueError`` for missing/corrupt archives, unknown format
+    versions, or archives holding a different model kind.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        meta = _read_meta(archive, path, _CONV_KIND)
+        stage_meta = meta["stages"]
+        kernels = [archive[f"K{i}"] for i in range(len(stage_meta))]
+        if not kernels:
+            raise ValueError(f"{path} holds no conv stages")
+        extractor = ConvFeatureExtractor(
+            in_channels=kernels[0].shape[1],
+            channels=[k.shape[0] for k in kernels],
+            field=kernels[0].shape[2],
+            pool=stage_meta[0]["pool"],
             seed=0,
         )
-        for i, layer in enumerate(net.layers):
-            w = archive[f"W{i}"]
-            b = archive[f"b{i}"]
-            if w.shape != layer.W.shape or b.shape != layer.b.shape:
-                raise ValueError(f"layer {i} shape mismatch in {path}")
-            layer.W = w.copy()
-            layer.b = b.copy()
-    return net
+        for i, (conv, pool) in enumerate(extractor.stages):
+            # Per-stage geometry may differ from the constructor defaults
+            # (heterogeneous fields/pools are legal when stages are built
+            # by hand), so restore it explicitly.
+            conv.kernels = kernels[i].copy()
+            conv.bias = archive[f"cb{i}"].copy()
+            conv.field = kernels[i].shape[2]
+            conv.stride = stage_meta[i]["stride"]
+            conv.pad = stage_meta[i]["pad"]
+            pool.size = stage_meta[i]["pool"]
+        head = _restore_mlp(archive, path, meta["head"], prefix="head_")
+    return ConvClassifier(extractor, head, lr=meta["lr"])

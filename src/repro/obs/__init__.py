@@ -1,0 +1,69 @@
+"""Unified observability layer: spans, counters and trace records.
+
+The paper's contribution is a *measurement harness* — its §8–§11 claims
+are runtime, FLOP and cache-behaviour comparisons — so the repo needs a
+first-class record of what each trainer actually did: dense vs skipped
+FLOPs, LSH candidates retrieved, hash-table rebuilds, sampler rows/cols
+kept, lazy optimiser updates.  This package provides that record without
+perturbing the thing being measured:
+
+* :class:`~repro.obs.recorder.NullRecorder` — the default everywhere.
+  Every method is a no-op and ``enabled`` is False, so instrumented code
+  paths cost one attribute load + no-op call (and skip any non-trivial
+  counter computation entirely via ``if obs.enabled``).  Training under
+  the null recorder is bitwise identical to the pre-instrumentation
+  code — enforced by ``tests/obs/test_noop.py``.
+* :class:`~repro.obs.recorder.InMemoryRecorder` — hierarchical spans
+  (run → epoch → phase), counters, gauges and phase timings, snapshotted
+  to a JSON-safe dict.
+* :mod:`~repro.obs.sink` — JSONL trace records in the same
+  one-object-per-line format as the executor's resumable sink, so traces
+  and sweep outcomes can share a file.
+* :func:`~repro.obs.recorder.merge_snapshots` — cross-process
+  aggregation: executor workers attach their snapshot to each
+  :class:`~repro.harness.experiment.ExperimentResult` and the parent
+  merges them into one sweep-level rollup.
+
+This package is dependency-free (stdlib only) and must never import from
+the rest of ``repro`` — everything else imports *it*.
+"""
+
+from . import counters
+from .counters import COUNTER_CATALOG, gemm_flops
+from .recorder import (
+    NULL_RECORDER,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    merge_snapshots,
+)
+from .report import derived_metrics, render_counters, render_spans, render_trace
+from .sink import (
+    AGGREGATE_KIND,
+    TRACE_KIND,
+    read_traces,
+    trace_record,
+    write_trace,
+)
+from .spans import Span
+
+__all__ = [
+    "TRACE_KIND",
+    "AGGREGATE_KIND",
+    "Recorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "NULL_RECORDER",
+    "merge_snapshots",
+    "Span",
+    "counters",
+    "COUNTER_CATALOG",
+    "gemm_flops",
+    "trace_record",
+    "write_trace",
+    "read_traces",
+    "render_trace",
+    "render_counters",
+    "render_spans",
+    "derived_metrics",
+]

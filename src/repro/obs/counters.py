@@ -1,0 +1,126 @@
+"""Canonical counter names and the measured-FLOP conventions.
+
+Counters use dotted names grouped by subsystem.  The catalogue below is
+the single source of truth: the docs render it, the trace report
+explains unknown counters with it, and tests assert instrumented
+trainers only emit catalogued names (plus the documented prefixes).
+
+FLOP convention (matches :mod:`repro.harness.flops`): a multiply-
+accumulate counts as 2 FLOPs.  Measured counters track *GEMM* work only
+— ``flops.dense`` is what the exact computation would have cost,
+``flops.actual`` is what was actually computed, and their difference is
+the measured skipped work.  Element-wise passes (activations, masks,
+probability machinery) are deliberately excluded: diffing the measured
+numbers against the analytical model (which includes them) is how the
+``trace-report`` command quantifies bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "COUNTER_CATALOG",
+    "gemm_flops",
+    # training
+    "TRAIN_EPOCHS",
+    "TRAIN_BATCHES",
+    "TRAIN_SAMPLES",
+    # measured FLOPs
+    "FLOPS_DENSE",
+    "FLOPS_ACTUAL",
+    # optimiser
+    "OPT_DENSE_UPDATES",
+    "OPT_LAZY_UPDATE_HITS",
+    "OPT_LAZY_UPDATE_COLS",
+    # LSH
+    "LSH_QUERIES",
+    "LSH_CANDIDATES",
+    "LSH_BUILDS",
+    "LSH_UPDATES",
+    "LSH_REHASHED_ITEMS",
+    "LSH_REBUILDS",
+    "LSH_REHASHED_COLUMNS",
+    "LSH_ACTIVE_NODES",
+    "LSH_ACTIVE_POOL",
+    # gauges
+    "GAUGE_CATALOG",
+    "LSH_BUCKET_MAX_LOAD",
+    "LSH_BUCKETS_OCCUPIED",
+    # samplers
+    "SAMPLER_COLS_KEPT",
+    "SAMPLER_COLS_POOL",
+    "SAMPLER_ROWS_KEPT",
+    "SAMPLER_ROWS_POOL",
+    "SAMPLER_MASK_KEPT",
+    "SAMPLER_MASK_POOL",
+]
+
+TRAIN_EPOCHS = "train.epochs"
+TRAIN_BATCHES = "train.batches"
+TRAIN_SAMPLES = "train.samples"
+
+FLOPS_DENSE = "flops.dense"
+FLOPS_ACTUAL = "flops.actual"
+
+OPT_DENSE_UPDATES = "optim.dense_updates"
+OPT_LAZY_UPDATE_HITS = "optim.lazy_update_hits"
+OPT_LAZY_UPDATE_COLS = "optim.lazy_update_cols"
+
+LSH_QUERIES = "lsh.queries"
+LSH_CANDIDATES = "lsh.candidates"
+LSH_BUILDS = "lsh.builds"
+LSH_UPDATES = "lsh.updates"
+LSH_REHASHED_ITEMS = "lsh.rehashed_items"
+LSH_REBUILDS = "lsh.rebuilds"
+LSH_REHASHED_COLUMNS = "lsh.rehashed_columns"
+LSH_ACTIVE_NODES = "lsh.active_nodes"
+LSH_ACTIVE_POOL = "lsh.active_pool"
+
+SAMPLER_COLS_KEPT = "sampler.cols_kept"
+SAMPLER_COLS_POOL = "sampler.cols_pool"
+SAMPLER_ROWS_KEPT = "sampler.rows_kept"
+SAMPLER_ROWS_POOL = "sampler.rows_pool"
+SAMPLER_MASK_KEPT = "sampler.mask_kept"
+SAMPLER_MASK_POOL = "sampler.mask_pool"
+
+#: name -> one-line description, rendered in docs and the trace report.
+COUNTER_CATALOG: Dict[str, str] = {
+    TRAIN_EPOCHS: "training epochs completed",
+    TRAIN_BATCHES: "optimisation steps (batches) taken",
+    TRAIN_SAMPLES: "training samples consumed",
+    FLOPS_DENSE: "GEMM FLOPs the exact computation would have cost",
+    FLOPS_ACTUAL: "GEMM FLOPs actually executed (dense - actual = skipped)",
+    OPT_DENSE_UPDATES: "full-parameter optimiser updates",
+    OPT_LAZY_UPDATE_HITS: "sparse-column (lazy) optimiser updates",
+    OPT_LAZY_UPDATE_COLS: "columns advanced across all lazy updates",
+    LSH_QUERIES: "hash-table lookups (one per sample per layer)",
+    LSH_CANDIDATES: "candidate ids returned across all queries",
+    LSH_BUILDS: "full hash-table builds",
+    LSH_UPDATES: "incremental hash-table update calls",
+    LSH_REHASHED_ITEMS: "items re-inserted by incremental updates",
+    LSH_REBUILDS: "scheduled table refreshes triggered by the trainer",
+    LSH_REHASHED_COLUMNS: "weight columns re-hashed at those refreshes",
+    LSH_ACTIVE_NODES: "active nodes selected after candidate clamping",
+    LSH_ACTIVE_POOL: "nodes that were eligible (layer widths summed)",
+    SAMPLER_COLS_KEPT: "weight columns kept by column samplers",
+    SAMPLER_COLS_POOL: "columns that were eligible",
+    SAMPLER_ROWS_KEPT: "inner-dimension indices kept by MC samplers",
+    SAMPLER_ROWS_POOL: "inner-dimension indices that were eligible",
+    SAMPLER_MASK_KEPT: "mask entries kept by element-wise dropout masks",
+    SAMPLER_MASK_POOL: "mask entries that were eligible",
+}
+
+LSH_BUCKET_MAX_LOAD = "lsh.bucket_max_load"
+LSH_BUCKETS_OCCUPIED = "lsh.buckets_occupied"
+
+#: gauges (last-value metrics); merged across processes by max.
+GAUGE_CATALOG: Dict[str, str] = {
+    LSH_BUCKET_MAX_LOAD: "largest bucket occupancy seen at build time",
+    LSH_BUCKETS_OCCUPIED: "occupied buckets across all tables at build",
+}
+
+
+def gemm_flops(m: int, k: int, n: int) -> int:
+    """FLOPs of an (m×k)·(k×n) matrix product at 2 FLOPs per MAC."""
+    return 2 * int(m) * int(k) * int(n)

@@ -1,0 +1,181 @@
+"""Recorders: the write side of the observability layer.
+
+Instrumented code holds a ``Recorder`` and calls :meth:`~Recorder.add`,
+:meth:`~Recorder.gauge`, :meth:`~Recorder.add_time` and
+:meth:`~Recorder.span`.  Two implementations exist:
+
+* :class:`NullRecorder` (the default, shared singleton
+  :data:`NULL_RECORDER`): every method is a no-op and ``enabled`` is
+  False.  Instrumentation sites guard anything costlier than a scalar
+  behind ``if obs.enabled:``, so the disabled path costs a single
+  attribute load + C-level call — and provably never touches the
+  training RNG or any floating-point state.
+* :class:`InMemoryRecorder`: accumulates counters, gauges, phase timings
+  and hierarchical spans, and snapshots them to a JSON-safe dict.
+
+Snapshots from many processes merge with :func:`merge_snapshots`
+(counters/timings/spans sum; gauges take the max).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .spans import Span, SpanAggregator
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "NULL_RECORDER",
+    "merge_snapshots",
+]
+
+
+class Recorder:
+    """Interface every recorder implements.  All methods must be cheap."""
+
+    #: False on the null recorder — gate non-trivial counter *computation*
+    #: (sums over masks, bucket scans, FLOP arithmetic) on this flag.
+    enabled: bool = False
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        raise NotImplementedError
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        raise NotImplementedError
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the named phase clock."""
+        raise NotImplementedError
+
+    def span(self, name: str):
+        """Context manager timing a hierarchical region."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-safe state dump (empty sections on the null recorder)."""
+        raise NotImplementedError
+
+
+class _NullSpan:
+    """Shared do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder(Recorder):
+    """The zero-cost default: records nothing, perturbs nothing."""
+
+    enabled = False
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def add_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "timings": {}, "spans": {}}
+
+
+#: module-level singleton used as the default recorder everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+class InMemoryRecorder(Recorder):
+    """Accumulating recorder backing golden traces and trace reports."""
+
+    enabled = True
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        # name -> [count, total_seconds]
+        self.timings: Dict[str, List[float]] = {}
+        self._spans = SpanAggregator()
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        slot = self.timings.get(name)
+        if slot is None:
+            self.timings[name] = [1, seconds]
+        else:
+            slot[0] += 1
+            slot[1] += seconds
+
+    def span(self, name: str) -> Span:
+        return Span(self._spans, name)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: float = 0) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self.counters.get(name, default)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-safe dump of everything recorded so far."""
+        return {
+            "counters": {
+                k: (int(v) if float(v).is_integer() else float(v))
+                for k, v in self.counters.items()
+            },
+            "gauges": {k: float(v) for k, v in self.gauges.items()},
+            "timings": {
+                k: {"count": int(c), "total": float(t)}
+                for k, (c, t) in self.timings.items()
+            },
+            "spans": self._spans.snapshot(),
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
+    """Merge worker snapshots into one sweep-level snapshot.
+
+    Counters sum; timings and spans sum both count and total; gauges take
+    the maximum (they are high-water marks).  ``None`` entries — tasks
+    that ran untraced or failed — are skipped, so the merge accepts the
+    raw ``result.trace`` list of a sweep directly.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "timings": {}, "spans": {}}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for k, v in snap.get("counters", {}).items():
+            out["counters"][k] = out["counters"].get(k, 0) + v
+        for k, v in snap.get("gauges", {}).items():
+            prev = out["gauges"].get(k)
+            out["gauges"][k] = v if prev is None else max(prev, v)
+        for section in ("timings", "spans"):
+            for k, v in snap.get(section, {}).items():
+                slot = out[section].get(k)
+                if slot is None:
+                    out[section][k] = {
+                        "count": v["count"], "total": v["total"]
+                    }
+                else:
+                    slot["count"] += v["count"]
+                    slot["total"] += v["total"]
+    return out

@@ -1,0 +1,111 @@
+"""Plain-text rendering of trace snapshots.
+
+Used by ``python -m repro trace-report`` and by the sweep command's
+``--trace`` rollup.  Rendering is deliberately simple fixed-width text
+(no dependency on the harness's table formatter — obs imports nothing
+from the rest of the package).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .counters import (
+    COUNTER_CATALOG,
+    FLOPS_ACTUAL,
+    FLOPS_DENSE,
+    LSH_ACTIVE_NODES,
+    LSH_ACTIVE_POOL,
+    LSH_CANDIDATES,
+    LSH_QUERIES,
+    SAMPLER_ROWS_KEPT,
+    SAMPLER_ROWS_POOL,
+)
+
+__all__ = ["derived_metrics", "render_counters", "render_spans", "render_trace"]
+
+
+def derived_metrics(snapshot: dict) -> Dict[str, float]:
+    """Headline ratios computed from raw counters.
+
+    ``flops.skipped`` is the measured work avoided (dense − actual);
+    the fractions are guarded against zero denominators so partially
+    instrumented traces still render.
+    """
+    counters = snapshot.get("counters", {})
+    out: Dict[str, float] = {}
+    dense = counters.get(FLOPS_DENSE, 0)
+    actual = counters.get(FLOPS_ACTUAL, 0)
+    if dense:
+        out["flops.skipped"] = dense - actual
+        out["flops.skipped_frac"] = (dense - actual) / dense
+    queries = counters.get(LSH_QUERIES, 0)
+    if queries:
+        out["lsh.candidates_per_query"] = counters.get(LSH_CANDIDATES, 0) / queries
+    pool = counters.get(LSH_ACTIVE_POOL, 0)
+    if pool:
+        out["lsh.active_frac"] = counters.get(LSH_ACTIVE_NODES, 0) / pool
+    rows_pool = counters.get(SAMPLER_ROWS_POOL, 0)
+    if rows_pool:
+        out["sampler.rows_kept_frac"] = (
+            counters.get(SAMPLER_ROWS_KEPT, 0) / rows_pool
+        )
+    return out
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return f"{int(value):,}"
+
+
+def render_counters(snapshot: dict, describe: bool = True) -> str:
+    """Counter table (sorted by name), derived ratios appended."""
+    counters = dict(snapshot.get("counters", {}))
+    counters.update(derived_metrics(snapshot))
+    if not counters:
+        return "(no counters recorded)"
+    width = max(len(k) for k in counters)
+    lines = []
+    for name in sorted(counters):
+        line = f"  {name:<{width}}  {_fmt(counters[name]):>16}"
+        if describe and name in COUNTER_CATALOG:
+            line += f"  {COUNTER_CATALOG[name]}"
+        lines.append(line)
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        lines.append(f"  {name:<{width}}  {_fmt(gauges[name]):>16}  (gauge)")
+    return "\n".join(lines)
+
+
+def render_spans(snapshot: dict) -> str:
+    """Span tree indented by path depth, with per-path count and time."""
+    spans = snapshot.get("spans", {})
+    timings = snapshot.get("timings", {})
+    if not spans and not timings:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    for path in sorted(spans):
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        v = spans[path]
+        lines.append(
+            f"  {'  ' * depth}{name:<{24 - 2 * depth}}"
+            f"  n={v['count']:<8} total={v['total']:.3f}s"
+        )
+    for name in sorted(timings):
+        v = timings[name]
+        lines.append(
+            f"  {name:<24}  n={v['count']:<8} total={v['total']:.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_trace(snapshot: dict, title: str = "trace") -> str:
+    """Full human-readable dump: spans then counters."""
+    return (
+        f"{title}\n"
+        f"{'=' * len(title)}\n"
+        f"spans/timings:\n{render_spans(snapshot)}\n"
+        f"counters:\n{render_counters(snapshot)}"
+    )

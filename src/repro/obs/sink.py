@@ -1,0 +1,79 @@
+"""JSONL trace records, sink-compatible with the experiment executor.
+
+The executor's :class:`~repro.harness.executor.JsonlSink` writes one JSON
+object per line and its resume logic only consumes records whose
+``status`` field is ``"ok"``.  Trace records written here carry a
+``kind`` field and *no* ``status``, so traces and sweep outcomes can
+share one file: the executor ignores trace lines on resume, and
+:func:`read_traces` ignores outcome lines.
+
+This module stays dependency-free (it re-implements the three lines of
+append/read rather than importing the harness) so ``repro.obs`` never
+imports the packages it instruments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["TRACE_KIND", "AGGREGATE_KIND", "trace_record", "write_trace", "read_traces"]
+
+TRACE_KIND = "trace"
+AGGREGATE_KIND = "trace_aggregate"
+
+
+def trace_record(
+    snapshot: dict,
+    label: str = "",
+    key: Optional[str] = None,
+    kind: str = TRACE_KIND,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One JSON-safe trace record for a JSONL sink.
+
+    ``key`` mirrors the executor's task key so a trace can be matched to
+    its sweep outcome; ``extra`` fields (summary stats, config dumps)
+    are stored verbatim.
+    """
+    record: Dict[str, Any] = {"kind": kind, "label": label, "snapshot": snapshot}
+    if key is not None:
+        record["key"] = key
+    record.update(extra)
+    return record
+
+
+def write_trace(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append one record to a JSONL file (created with parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record) + "\n")
+
+
+def read_traces(path: Union[str, Path], kind: Optional[str] = None) -> List[dict]:
+    """All intact trace records in the file (skips executor outcomes).
+
+    ``kind`` filters to one record kind; truncated trailing lines (a
+    crash mid-write) are skipped, matching the executor sink's tolerance.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if "kind" not in record or "snapshot" not in record:
+                continue  # an executor outcome line, not a trace
+            if kind is not None and record["kind"] != kind:
+                continue
+            records.append(record)
+    return records

@@ -1,0 +1,67 @@
+"""Hierarchical wall-clock spans (run → epoch → phase).
+
+A span is a context manager; nesting builds slash-separated paths
+(``fit/epoch``), and the recorder aggregates *by path*: entering the same
+path twice accumulates count and total seconds rather than storing every
+instance, so a million batch spans stay O(distinct paths) in memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+__all__ = ["Span", "SpanAggregator"]
+
+
+class SpanAggregator:
+    """Aggregates span durations by hierarchical path."""
+
+    def __init__(self):
+        self._stack: List[str] = []
+        # path -> [count, total_seconds]
+        self.totals: Dict[str, List[float]] = {}
+
+    def current_path(self) -> str:
+        """Slash-joined path of the open spans ('' at top level)."""
+        return "/".join(self._stack)
+
+    def enter(self, name: str) -> str:
+        self._stack.append(name)
+        return self.current_path()
+
+    def exit(self, path: str, elapsed: float) -> None:
+        if self._stack:
+            self._stack.pop()
+        slot = self.totals.get(path)
+        if slot is None:
+            self.totals[path] = [1, elapsed]
+        else:
+            slot[0] += 1
+            slot[1] += elapsed
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe ``{path: {count, total}}`` view."""
+        return {
+            path: {"count": int(c), "total": float(t)}
+            for path, (c, t) in self.totals.items()
+        }
+
+
+class Span:
+    """One timed region; created via ``recorder.span(name)``."""
+
+    __slots__ = ("_agg", "_name", "_path", "_start")
+
+    def __init__(self, aggregator: SpanAggregator, name: str):
+        self._agg = aggregator
+        self._name = name
+
+    def __enter__(self) -> "Span":
+        self._path = self._agg.enter(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._agg.exit(self._path, time.perf_counter() - self._start)
+        return False

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the §6 matrix-product estimators.
+
+Three invariants from the paper's sampling theory:
+
+* Drineas Eq. 6 probabilities are a distribution proportional to the
+  importance scores (variance-optimal normalisation).
+* The CR estimator is unbiased: averaging independent draws converges to
+  the exact product at the 1/√n rate its closed-form variance predicts.
+* The Bernoulli Eq. 7 waterfilling clamps to ``min{λ·score, 1}`` while
+  holding the budget ``Σ p_i = k`` exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.approx.bernoulli import bernoulli_probabilities
+from repro.approx.drineas import (
+    cr_multiply,
+    expected_error_frobenius,
+    optimal_probabilities,
+)
+from repro.approx.sampling import clipped_probabilities, importance_scores
+
+finite = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+matrix_pairs = st.integers(2, 7).flatmap(
+    lambda inner: st.tuples(
+        arrays(np.float64, st.tuples(st.integers(1, 5), st.just(inner)), elements=finite),
+        arrays(np.float64, st.tuples(st.just(inner), st.integers(1, 5)), elements=finite),
+    )
+)
+# Subnormal scores are excluded: recovering λ from p_i/score_i underflows
+# for 5e-324-sized scores, which breaks the *test's* arithmetic (the
+# waterfilling itself handles them — see clipped_probabilities).
+score_vectors = arrays(
+    np.float64,
+    st.integers(2, 40),
+    elements=st.floats(
+        0, 1e6, allow_nan=False, allow_infinity=False, allow_subnormal=False
+    ),
+)
+
+
+class TestDrineasProbabilities:
+    @settings(max_examples=60, deadline=None)
+    @given(ab=matrix_pairs)
+    def test_normalised_distribution(self, ab):
+        a, b = ab
+        probs = optimal_probabilities(a, b)
+        assert probs.shape == (a.shape[1],)
+        assert (probs >= 0).all()
+        assert probs.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ab=matrix_pairs)
+    def test_proportional_to_importance_scores(self, ab):
+        a, b = ab
+        scores = importance_scores(a, b)
+        probs = optimal_probabilities(a, b)
+        if scores.sum() == 0:
+            # degenerate fallback: uniform
+            np.testing.assert_allclose(probs, 1.0 / scores.size)
+        else:
+            np.testing.assert_allclose(probs, scores / scores.sum(), atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ab=matrix_pairs, scale=st.floats(0.01, 100))
+    def test_scale_invariant(self, ab, scale):
+        """Rescaling A leaves the distribution unchanged."""
+        a, b = ab
+        np.testing.assert_allclose(
+            optimal_probabilities(a * scale, b),
+            optimal_probabilities(a, b),
+            atol=1e-9,
+        )
+
+
+class TestCREstimatorUnbiasedness:
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(
+        ab=matrix_pairs,
+        c=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_mean_over_seeds_converges_to_exact_product(self, ab, c, seed):
+        a, b = ab
+        exact = a @ b
+        n_draws = 400
+        rng = np.random.default_rng(seed)
+        mean = np.zeros_like(exact)
+        for _ in range(n_draws):
+            mean += cr_multiply(a, b, c, rng)
+        mean /= n_draws
+        # Var(mean error) = E||AB - CR||_F^2 / n; allow 6 sigma-equivalents
+        # via Chebyshev so derandomised examples never flake.
+        expected_sq = expected_error_frobenius(a, b, c)
+        if not np.isfinite(expected_sq):
+            return
+        err_sq = float(np.linalg.norm(exact - mean, "fro") ** 2)
+        bound = 36.0 * expected_sq / n_draws
+        assert err_sq <= bound + 1e-12
+
+
+class TestBernoulliWaterfilling:
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), scores=score_vectors)
+    def test_clamped_to_unit_interval_with_exact_budget(self, data, scores):
+        k = data.draw(st.integers(1, scores.size))
+        probs = clipped_probabilities(scores, k)
+        assert (probs >= 0).all()
+        assert (probs <= 1.0 + 1e-12).all()
+        assert probs.sum() == pytest.approx(k, rel=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), scores=score_vectors)
+    def test_clamp_is_min_of_linear_and_one(self, data, scores):
+        """Unclipped entries share one λ: p_i = min{λ·score_i, 1}."""
+        k = data.draw(st.integers(1, scores.size))
+        probs = clipped_probabilities(scores, k)
+        free = (probs < 1.0) & (scores > 0)
+        if free.sum() >= 2:
+            lam = probs[free] / scores[free]
+            np.testing.assert_allclose(lam, lam[0], rtol=1e-6)
+        # every pinned entry must dominate the free entries' ratio
+        if free.any() and (~free & (scores > 0)).any():
+            lam = (probs[free] / scores[free]).max()
+            pinned_scores = scores[~free & (scores > 0)]
+            assert (lam * pinned_scores >= 1.0 - 1e-9).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(scores=score_vectors)
+    def test_full_budget_keeps_everything(self, scores):
+        probs = clipped_probabilities(scores, scores.size)
+        np.testing.assert_allclose(probs, 1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ab=matrix_pairs, data=st.data())
+    def test_bernoulli_probabilities_match_waterfilled_scores(self, ab, data):
+        a, b = ab
+        k = data.draw(st.integers(1, a.shape[1]))
+        np.testing.assert_allclose(
+            bernoulli_probabilities(a, b, k),
+            clipped_probabilities(importance_scores(a, b), k),
+            atol=1e-12,
+        )

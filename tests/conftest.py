@@ -7,6 +7,22 @@ from repro.data.synthetic import SyntheticSpec
 from repro.nn.network import MLP
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace files from the current run "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    """True when the run should rewrite golden files."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A small, easy 3-class image dataset (fast to train on)."""

@@ -1,10 +1,11 @@
-"""Tests for MLP serialisation."""
+"""Tests for MLP and ConvClassifier serialisation."""
 
 import numpy as np
 import pytest
 
+from repro.nn.conv import ConvClassifier, ConvFeatureExtractor
 from repro.nn.network import MLP
-from repro.nn.serialize import load_mlp, save_mlp
+from repro.nn.serialize import load_conv, load_mlp, save_conv, save_mlp
 
 
 class TestRoundTrip:
@@ -46,15 +47,74 @@ class TestRoundTrip:
         )
 
 
+def _conv_model(seed=0, image=8):
+    extractor = ConvFeatureExtractor(
+        in_channels=3, channels=(4, 6), field=3, pool=2, seed=seed
+    )
+    head = MLP([extractor.feature_dim(image, image), 12, 5], seed=seed)
+    return ConvClassifier(extractor, head, lr=3e-2)
+
+
+class TestConvRoundTrip:
+    def test_all_parameters_preserved_bitwise(self, tmp_path):
+        model = _conv_model(seed=7)
+        loaded = load_conv(save_conv(model, tmp_path / "conv"))
+        assert loaded.lr == model.lr
+        assert len(loaded.extractor.stages) == len(model.extractor.stages)
+        for (ca, pa), (cb, pb) in zip(
+            model.extractor.stages, loaded.extractor.stages
+        ):
+            np.testing.assert_array_equal(ca.kernels, cb.kernels)
+            np.testing.assert_array_equal(ca.bias, cb.bias)
+            assert (ca.field, ca.stride, ca.pad) == (cb.field, cb.stride, cb.pad)
+            assert pa.size == pb.size
+        for la, lb in zip(model.head.layers, loaded.head.layers):
+            np.testing.assert_array_equal(la.W, lb.W)
+            np.testing.assert_array_equal(la.b, lb.b)
+
+    def test_predictions_identical(self, tmp_path, rng):
+        model = _conv_model(seed=1)
+        x = rng.normal(size=(6, 3, 8, 8))
+        loaded = load_conv(save_conv(model, tmp_path / "conv.npz"))
+        np.testing.assert_array_equal(model.predict(x), loaded.predict(x))
+        np.testing.assert_array_equal(model.features(x), loaded.features(x))
+
+    def test_trained_model_round_trip(self, tmp_path, rng):
+        model = _conv_model(seed=2)
+        x = rng.normal(size=(20, 3, 8, 8))
+        y = rng.integers(0, 5, size=20)
+        model.fit(x, y, epochs=1, batch_size=5, seed=0)
+        loaded = load_conv(save_conv(model, tmp_path / "trained"))
+        np.testing.assert_array_equal(model.predict(x), loaded.predict(x))
+
+    def test_suffix_appended(self, tmp_path):
+        path = save_conv(_conv_model(), tmp_path / "conv")
+        assert path.suffix == ".npz"
+
+
+class TestKindMismatch:
+    def test_load_mlp_rejects_conv_archive(self, tmp_path):
+        path = save_conv(_conv_model(), tmp_path / "conv")
+        with pytest.raises(ValueError, match="conv_classifier"):
+            load_mlp(path)
+
+    def test_load_conv_rejects_mlp_archive(self, tmp_path):
+        path = save_mlp(MLP([4, 2], seed=0), tmp_path / "mlp")
+        with pytest.raises(ValueError, match="expected 'conv_classifier'"):
+            load_conv(path)
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_mlp(tmp_path / "ghost.npz")
+        with pytest.raises(FileNotFoundError):
+            load_conv(tmp_path / "ghost.npz")
 
     def test_not_a_model(self, tmp_path):
         path = tmp_path / "junk.npz"
         np.savez(path, x=np.zeros(3))
-        with pytest.raises(ValueError, match="not a saved MLP"):
+        with pytest.raises(ValueError, match="not a saved model"):
             load_mlp(path)
 
     def test_creates_parent_dirs(self, tmp_path):

@@ -1,0 +1,69 @@
+"""Shared machinery for the observability tests.
+
+Every trainer is run twice on the tiny dataset with identical seeds —
+once with the default :data:`~repro.obs.NULL_RECORDER` and once with an
+:class:`~repro.obs.InMemoryRecorder` — and the resulting weight digests,
+final metrics and counter snapshots feed both the bitwise no-op test and
+the golden-trace regression tests.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import make_trainer
+from repro.nn.network import MLP
+from repro.obs import InMemoryRecorder
+
+TRAINER_NAMES = ["standard", "dropout", "adaptive_dropout", "alsh", "mc", "topk"]
+
+#: fixed-seed recipe shared by every run (matches the committed goldens).
+SEED = 123
+LAYER_SIZES = [64, 32, 32, 3]
+EPOCHS = 2
+BATCH_SIZE = 20
+
+
+def weights_digest(net) -> str:
+    """SHA-256 over the raw bytes of every parameter array, in order."""
+    digest = hashlib.sha256()
+    for layer in net.layers:
+        digest.update(np.ascontiguousarray(layer.W).tobytes())
+        digest.update(np.ascontiguousarray(layer.b).tobytes())
+    return digest.hexdigest()
+
+
+def run_trainer(name, dataset, recorder=None):
+    """One fixed-seed 2-epoch training run; returns (trainer, history)."""
+    net = MLP(LAYER_SIZES, seed=SEED)
+    trainer = make_trainer(name, net, seed=SEED, recorder=recorder)
+    history = trainer.fit(
+        dataset.x_train,
+        dataset.y_train,
+        epochs=EPOCHS,
+        batch_size=BATCH_SIZE,
+        x_val=dataset.x_val,
+        y_val=dataset.y_val,
+    )
+    return trainer, history
+
+
+@pytest.fixture(scope="session")
+def traced_runs(tiny_dataset):
+    """Per-method results of the null-recorder and traced runs."""
+    out = {}
+    for name in TRAINER_NAMES:
+        trainer_null, _ = run_trainer(name, tiny_dataset)
+        trainer, history = run_trainer(name, tiny_dataset, InMemoryRecorder())
+        out[name] = {
+            "null_digest": weights_digest(trainer_null.net),
+            "traced_digest": weights_digest(trainer.net),
+            "final_loss": float(history.losses()[-1]),
+            "val_acc": float(history.val_accuracies()[-1]),
+            "test_acc": float(
+                trainer.evaluate(tiny_dataset.x_test, tiny_dataset.y_test)
+            ),
+            "snapshot": trainer.obs.snapshot(),
+        }
+    return out

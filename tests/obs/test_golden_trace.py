@@ -1,0 +1,85 @@
+"""Golden-trace regression tests.
+
+Each of the five paper methods (plus the top-k oracle apparatus) trains
+for two fixed-seed epochs; its final loss, accuracies, weight digest and
+full counter snapshot must match the committed golden file.  Counters
+are integers and compared exactly; floats use a tight relative
+tolerance.  Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_golden_trace.py --update-goldens
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from .conftest import TRAINER_NAMES
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "goldens" / "golden_traces.json"
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="session")
+def goldens(traced_runs, update_goldens):
+    if update_goldens:
+        payload = {
+            name: {
+                "weights_sha256": run["traced_digest"],
+                "final_loss": run["final_loss"],
+                "val_acc": run["val_acc"],
+                "test_acc": run["test_acc"],
+                "counters": run["snapshot"]["counters"],
+                "gauges": run["snapshot"]["gauges"],
+            }
+            for name, run in traced_runs.items()
+        }
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} missing; "
+            "run once with --update-goldens to create it"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_covers_every_trainer(goldens):
+    assert set(goldens) == set(TRAINER_NAMES)
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_final_metrics_match_golden(name, traced_runs, goldens):
+    run, gold = traced_runs[name], goldens[name]
+    assert run["traced_digest"] == gold["weights_sha256"]
+    assert math.isclose(run["final_loss"], gold["final_loss"], rel_tol=REL_TOL)
+    assert math.isclose(run["val_acc"], gold["val_acc"], rel_tol=REL_TOL)
+    assert math.isclose(run["test_acc"], gold["test_acc"], rel_tol=REL_TOL)
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_counters_match_golden(name, traced_runs, goldens):
+    """Counters are deterministic integers — compared exactly."""
+    assert traced_runs[name]["snapshot"]["counters"] == goldens[name]["counters"]
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_gauges_match_golden(name, traced_runs, goldens):
+    assert traced_runs[name]["snapshot"]["gauges"] == goldens[name]["gauges"]
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_flop_counters_are_consistent(name, traced_runs):
+    """dense >= actual, and exact methods skip nothing."""
+    counters = traced_runs[name]["snapshot"]["counters"]
+    dense, actual = counters["flops.dense"], counters["flops.actual"]
+    assert dense >= actual > 0
+    if name in ("standard", "adaptive_dropout"):
+        assert dense == actual
+    else:
+        assert actual < dense

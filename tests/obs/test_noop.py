@@ -1,0 +1,52 @@
+"""Bitwise no-op guarantee of the observability layer.
+
+The digests below were captured from the *pre-instrumentation* trainers
+(the commit before ``repro.obs`` existed) on the exact fixed-seed recipe
+of ``tests/obs/conftest.py``.  Training under the default
+:data:`~repro.obs.NULL_RECORDER` must still produce byte-identical
+weights — instrumentation that shifts a single ULP or consumes one extra
+RNG draw fails this file.  A second check asserts the *enabled* recorder
+does not perturb training either: same seed, same bytes.
+"""
+
+import pytest
+
+from repro.core import make_trainer
+from repro.nn.network import MLP
+from repro.obs import NULL_RECORDER
+
+from .conftest import TRAINER_NAMES
+
+#: sha256 of concatenated (W, b) bytes after the fixed-seed 2-epoch run,
+#: captured before the trainers were instrumented.
+PRE_INSTRUMENTATION_DIGESTS = {
+    "standard": "3e6fa6b3a0fb00ee7e28c1d3853f307c24253500c6b1f514575e443b246e8b13",
+    "dropout": "9e02a9390fdfdc2841d3358223140294480e67e3e97fdbac06a4799a787e65c5",
+    "adaptive_dropout": "27fa5392491cd965ef86208f2befad4f5dbfcd79acdc7eae53baae4609ef7d16",
+    "alsh": "65378f6009f20455c116a80e90d7575795ac93c702e2ab219b36fc68b3e38fee",
+    "mc": "590e0810698e3b9e35a4d1a3455bacb4ceba8475de3fc80b20b50ed411f5959c",
+    "topk": "881f4a23cbd27ea32290f1091b1d6a8753fc84b35d12e807262f5628edecf3a1",
+}
+
+
+def test_every_trainer_is_covered():
+    assert set(PRE_INSTRUMENTATION_DIGESTS) == set(TRAINER_NAMES)
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_null_recorder_is_bitwise_noop(name, traced_runs):
+    """Instrumented trainers reproduce the pre-instrumentation bytes."""
+    assert traced_runs[name]["null_digest"] == PRE_INSTRUMENTATION_DIGESTS[name]
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_enabled_recorder_does_not_perturb_training(name, traced_runs):
+    """Counting work must not change the work: traced == untraced bytes."""
+    assert traced_runs[name]["traced_digest"] == traced_runs[name]["null_digest"]
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_default_recorder_is_the_shared_null_singleton(name):
+    trainer = make_trainer(name, MLP([8, 4, 4, 3], seed=0), seed=0)
+    assert trainer.obs is NULL_RECORDER
+    assert trainer.obs.enabled is False

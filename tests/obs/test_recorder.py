@@ -1,0 +1,166 @@
+"""Unit tests for the recorder, span and merge machinery."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    COUNTER_CATALOG,
+    InMemoryRecorder,
+    NullRecorder,
+    Span,
+    gemm_flops,
+    merge_snapshots,
+)
+from repro.obs.counters import GAUGE_CATALOG
+from repro.obs.spans import SpanAggregator
+
+
+class TestNullRecorder:
+    def test_disabled_and_shared(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_all_methods_are_noops(self):
+        rec = NullRecorder()
+        rec.add("x")
+        rec.add("x", 5)
+        rec.gauge("g", 1.0)
+        rec.add_time("t", 0.5)
+        with rec.span("s"):
+            pass
+        assert rec.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timings": {},
+            "spans": {},
+        }
+
+    def test_span_is_shared_instance(self):
+        rec = NullRecorder()
+        assert rec.span("a") is rec.span("b")
+
+
+class TestInMemoryRecorder:
+    def test_counters_accumulate(self):
+        rec = InMemoryRecorder()
+        rec.add("c")
+        rec.add("c", 4)
+        assert rec.get("c") == 5
+        assert rec.get("missing") == 0
+
+    def test_gauge_keeps_last_value(self):
+        rec = InMemoryRecorder()
+        rec.gauge("g", 3.0)
+        rec.gauge("g", 1.0)
+        assert rec.snapshot()["gauges"] == {"g": 1.0}
+
+    def test_timings_accumulate_count_and_total(self):
+        rec = InMemoryRecorder()
+        rec.add_time("phase", 0.25)
+        rec.add_time("phase", 0.5)
+        assert rec.snapshot()["timings"]["phase"] == {
+            "count": 2,
+            "total": 0.75,
+        }
+
+    def test_snapshot_converts_integral_floats(self):
+        rec = InMemoryRecorder()
+        rec.add("int_counter", 2.0)
+        rec.add("float_counter", 0.5)
+        counters = rec.snapshot()["counters"]
+        assert counters["int_counter"] == 2
+        assert isinstance(counters["int_counter"], int)
+        assert counters["float_counter"] == 0.5
+
+    def test_nested_spans_build_paths(self):
+        rec = InMemoryRecorder()
+        with rec.span("fit"):
+            with rec.span("epoch"):
+                pass
+            with rec.span("epoch"):
+                pass
+        spans = rec.snapshot()["spans"]
+        assert set(spans) == {"fit", "fit/epoch"}
+        assert spans["fit/epoch"]["count"] == 2
+        assert spans["fit"]["count"] == 1
+
+
+class TestSpanAggregator:
+    def test_paths_and_totals(self):
+        agg = SpanAggregator()
+        assert agg.current_path() == ""
+        with Span(agg, "a"):
+            assert agg.current_path() == "a"
+            with Span(agg, "b"):
+                assert agg.current_path() == "a/b"
+        assert agg.current_path() == ""
+        assert set(agg.totals) == {"a", "a/b"}
+        assert all(total >= 0 for _, total in agg.totals.values())
+
+
+class TestMergeSnapshots:
+    def test_merge_rules(self):
+        a = {
+            "counters": {"c": 1, "only_a": 2},
+            "gauges": {"g": 5.0},
+            "timings": {"t": {"count": 1, "total": 0.5}},
+            "spans": {"fit": {"count": 1, "total": 1.0}},
+        }
+        b = {
+            "counters": {"c": 3},
+            "gauges": {"g": 2.0, "only_b": 7.0},
+            "timings": {"t": {"count": 2, "total": 0.25}},
+            "spans": {"fit": {"count": 1, "total": 2.0}},
+        }
+        merged = merge_snapshots([a, None, b])
+        assert merged["counters"] == {"c": 4, "only_a": 2}
+        assert merged["gauges"] == {"g": 5.0, "only_b": 7.0}
+        assert merged["timings"]["t"] == {"count": 3, "total": 0.75}
+        assert merged["spans"]["fit"] == {"count": 2, "total": 3.0}
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots([None, {}])
+        assert merged == {"counters": {}, "gauges": {}, "timings": {}, "spans": {}}
+
+    def test_merge_is_associative_on_counters(self):
+        snaps = [
+            {"counters": {"c": i}, "gauges": {}, "timings": {}, "spans": {}}
+            for i in range(5)
+        ]
+        left = merge_snapshots([merge_snapshots(snaps[:2]), *snaps[2:]])
+        flat = merge_snapshots(snaps)
+        assert left["counters"] == flat["counters"]
+
+
+class TestCatalogue:
+    def test_every_counter_constant_is_catalogued(self):
+        from repro.obs import counters as mod
+
+        for attr in mod.__all__:
+            value = getattr(mod, attr)
+            if not isinstance(value, str) or attr in ("GAUGE_CATALOG",):
+                continue
+            assert (
+                value in COUNTER_CATALOG or value in GAUGE_CATALOG
+            ), f"{attr}={value!r} missing from the catalogues"
+
+    def test_gemm_flops_convention(self):
+        # 2 FLOPs per multiply-accumulate.
+        assert gemm_flops(3, 4, 5) == 2 * 3 * 4 * 5
+        a, b = np.ones((3, 4)), np.ones((4, 5))
+        assert gemm_flops(*a.shape, b.shape[1]) == 120
+
+
+class TestRecorderPerturbation:
+    def test_recording_never_touches_numpy_global_state(self):
+        """Counters must not consume randomness."""
+        state_before = np.random.get_state()[1].copy()
+        rec = InMemoryRecorder()
+        for i in range(100):
+            rec.add("c", i)
+            rec.gauge("g", i)
+            with rec.span("s"):
+                pass
+        state_after = np.random.get_state()[1]
+        assert (state_before == state_after).all()
