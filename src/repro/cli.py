@@ -11,7 +11,8 @@ Commands
 ``sweep``
     Fan a methods × depths grid out across worker processes through the
     fault-tolerant executor, streaming outcomes to a resumable JSONL file
-    (``--workers``, ``--timeout``, ``--resume``).
+    (``--workers``, ``--timeout``, ``--resume``, and crash-safe trainer
+    checkpointing via ``--checkpoint-dir`` / ``--retry-timeouts``).
 ``theory``
     Print the §7 error-propagation table for a given c.
 ``flops``
@@ -69,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--paper-defaults", action="store_true",
                      help="apply the §8.4 method defaults before overrides")
     run.add_argument("--store", help="append the result to this JSONL file")
+    run.add_argument("--checkpoint-dir",
+                     help="write crash-safe trainer checkpoints here and "
+                          "resume from them when re-invoked")
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     help="epochs between checkpoints (default 1; "
+                          "requires --checkpoint-dir)")
     run.add_argument("--save-model", help="save the trained weights (.npz)")
     run.add_argument("--confusion", action="store_true",
                      help="print the confusion matrix")
@@ -111,6 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-task wall-clock budget in seconds")
     sweep.add_argument("--retries", type=int, default=1,
                        help="retries per failing task")
+    sweep.add_argument("--checkpoint-dir",
+                       help="checkpoint every task's trainer here; retried "
+                            "or resumed tasks continue from the last "
+                            "checkpoint instead of epoch 0")
+    sweep.add_argument("--checkpoint-every", type=int, default=1,
+                       help="epochs between checkpoints (with "
+                            "--checkpoint-dir; default 1)")
+    sweep.add_argument("--retry-timeouts", action="store_true",
+                       help="retry timed-out tasks too (pairs with "
+                            "--checkpoint-dir so attempts make progress)")
     sweep.add_argument("--reseed", type=int, default=None,
                        help="derive per-task seeds from this root seed")
     sweep.add_argument("--store", required=True,
@@ -185,7 +202,11 @@ def _cmd_run(args) -> int:
             optimizer=args.optimizer,
             seed=args.seed,
         )
-    result = run_experiment(cfg)
+    result = run_experiment(
+        cfg,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+    )
     print(result.summary())
     if args.confusion:
         print(render_confusion(result.confusion))
@@ -366,14 +387,25 @@ def _cmd_sweep(args) -> int:
                 f"after {outcome.attempts} attempt(s): {reason}"
             )
 
-    from .harness.executor import run_experiment_task, run_experiment_traced
+    from .harness.executor import (
+        CheckpointedExperimentTask,
+        run_experiment_task,
+        run_experiment_traced,
+    )
 
+    if args.checkpoint_dir:
+        task_fn = CheckpointedExperimentTask(
+            args.checkpoint_dir, every=args.checkpoint_every, traced=args.trace
+        )
+    else:
+        task_fn = run_experiment_traced if args.trace else run_experiment_task
     executor = ExperimentExecutor(
         max_workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        retry_timeouts=args.retry_timeouts,
         sink=args.store,
-        task_fn=run_experiment_traced if args.trace else run_experiment_task,
+        task_fn=task_fn,
     )
     outcomes = executor.run(
         configs, resume=args.resume, reseed=args.reseed, callback=on_outcome

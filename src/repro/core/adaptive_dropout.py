@@ -78,6 +78,23 @@ class AdaptiveDropoutTrainer(Trainer):
         """π = sigmoid(α·z + β) element-wise over pre-activations."""
         return self._sigmoid.forward(self.alpha * z + self.beta)
 
+    def checkpoint_state(self):
+        """Standout parameters — recorded so resume can verify config.
+
+        α and β never change during training, but resuming with different
+        values would silently change every mask; the restore hook rejects
+        that instead.
+        """
+        return {"alpha": self.alpha, "beta": self.beta}, {}
+
+    def restore_checkpoint_state(self, meta, arrays) -> None:
+        if meta.get("alpha") != self.alpha or meta.get("beta") != self.beta:
+            raise ValueError(
+                f"checkpoint was written with standout parameters "
+                f"alpha={meta.get('alpha')}, beta={meta.get('beta')}; "
+                f"this trainer has alpha={self.alpha}, beta={self.beta}"
+            )
+
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
         x = np.atleast_2d(np.asarray(x, dtype=float))
         layers = self.net.layers

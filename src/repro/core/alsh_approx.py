@@ -22,7 +22,7 @@ single-CPU numbers where ALSH-approx is the slowest method.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -354,6 +354,63 @@ class ALSHApproxTrainer(Trainer):
                 if self._drift is not None:
                     self._drift[i].mark_rehashed(self.net.layers[i].W, ids)
             touched.clear()
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Hash tables, rebuild counters and diagnostics.
+
+        The hash *hyperplanes* are deterministic from the construction
+        seed and are not serialised; the bucket contents are, because they
+        are path-dependent (each column sits where it was hashed at its
+        last re-hash, not where the current weights would place it).
+        """
+        meta = {
+            "rebuild": self.rebuild.state_dict(),
+            "active_count": self._active_count,
+            "rehashed_columns": self.rehashed_columns,
+            "indexes": [],
+        }
+        arrays: Dict[str, np.ndarray] = {"active_sum": self._active_sum.copy()}
+        for i, index in enumerate(self.indexes):
+            idx_meta, idx_arrays = index.state_dict()
+            meta["indexes"].append(idx_meta)
+            for name, arr in idx_arrays.items():
+                arrays[f"index{i}.{name}"] = arr
+            arrays[f"touched{i}"] = np.fromiter(
+                sorted(self._touched[i]),
+                dtype=np.int64,
+                count=len(self._touched[i]),
+            )
+            if self._drift is not None:
+                arrays[f"drift{i}"] = self._drift[i].reference
+        return meta, arrays
+
+    def restore_checkpoint_state(
+        self, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        idx_metas = meta["indexes"]
+        if len(idx_metas) != len(self.indexes):
+            raise ValueError(
+                f"checkpoint holds {len(idx_metas)} hash indexes, "
+                f"trainer has {len(self.indexes)}"
+            )
+        self.rebuild.load_state_dict(meta["rebuild"])
+        self._active_count = int(meta["active_count"])
+        self.rehashed_columns = int(meta["rehashed_columns"])
+        self._active_sum = np.array(arrays["active_sum"], dtype=float)
+        for i, index in enumerate(self.indexes):
+            prefix = f"index{i}."
+            idx_arrays = {
+                name[len(prefix):]: arr
+                for name, arr in arrays.items()
+                if name.startswith(prefix)
+            }
+            index.load_state_dict(idx_metas[i], idx_arrays)
+            self._touched[i] = {int(v) for v in arrays[f"touched{i}"]}
+            if self._drift is not None:
+                self._drift[i].restore_reference(arrays[f"drift{i}"])
 
     # ------------------------------------------------------------------
     # inference

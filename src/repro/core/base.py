@@ -11,12 +11,19 @@ object the benches consume.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..data.loader import BatchLoader
+from ..nn.checkpoint import (
+    TrainerCheckpoint,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..nn.losses import NLLLoss
 from ..nn.metrics import accuracy
 from ..nn.network import MLP
@@ -82,6 +89,21 @@ class History:
     def total_time(self) -> float:
         """Total training wall time across epochs."""
         return float(sum(e.time for e in self.epochs))
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (checkpoint support; floats round-trip exactly)."""
+        return {
+            "method": self.method,
+            "epochs": [asdict(e) for e in self.epochs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "History":
+        """Rebuild a history captured by :meth:`to_dict`."""
+        return cls(
+            method=payload["method"],
+            epochs=[EpochStats(**e) for e in payload["epochs"]],
+        )
 
 
 class Trainer:
@@ -203,6 +225,109 @@ class Trainer:
         self.obs.add(FLOPS_ACTUAL, actual)
 
     # ------------------------------------------------------------------
+    # checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Method-specific auxiliary state as ``(meta, arrays)``.
+
+        Subclasses with mutable state beyond the network, optimiser and
+        rng (ALSH hash tables, rebuild counters, …) override this
+        together with :meth:`restore_checkpoint_state`.  ``meta`` must be
+        JSON-safe; ``arrays`` maps names to ndarrays.
+        """
+        return {}, {}
+
+    def restore_checkpoint_state(
+        self, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Restore the state captured by :meth:`checkpoint_state`."""
+
+    def _capture_checkpoint(
+        self,
+        loader: BatchLoader,
+        history: History,
+        epoch: int,
+        best_val: float,
+        epochs_since_best: int,
+        stopped_early: bool,
+    ) -> TrainerCheckpoint:
+        """Everything :meth:`fit` needs to continue bitwise-identically."""
+        arrays: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.net.layers):
+            arrays[f"net.W{i}"] = layer.W
+            arrays[f"net.b{i}"] = layer.b
+        opt_meta, opt_arrays = self.optimizer.state_dict()
+        arrays.update(opt_arrays)
+        aux_meta, aux_arrays = self.checkpoint_state()
+        for name, arr in aux_arrays.items():
+            arrays[f"aux.{name}"] = arr
+        payload = {
+            "optimizer": opt_meta,
+            "rng_state": self.rng.bit_generator.state,
+            "loader_rng_state": loader.rng.bit_generator.state,
+            "early_stopping": {
+                "best_val": float(best_val),
+                "epochs_since_best": int(epochs_since_best),
+            },
+            "history": history.to_dict(),
+            "aux": aux_meta,
+        }
+        return TrainerCheckpoint(
+            method=self.name,
+            epoch=epoch,
+            stopped_early=stopped_early,
+            payload=payload,
+            arrays=arrays,
+        )
+
+    def _restore_checkpoint(
+        self, ckpt: TrainerCheckpoint, loader: BatchLoader, history: History
+    ) -> Tuple[int, float, int]:
+        """Apply a checkpoint; returns (start_epoch, best_val, since_best).
+
+        The trainer must have been constructed identically to the one
+        that wrote the checkpoint (same config and seed) — everything the
+        constructor derives deterministically (hash hyperplanes, standout
+        parameters, …) is reproduced from the seed, while everything
+        mutated by training is restored here.
+        """
+        if ckpt.method != self.name:
+            raise ValueError(
+                f"checkpoint holds {ckpt.method!r} trainer state, "
+                f"this trainer is {self.name!r}"
+            )
+        for i, layer in enumerate(self.net.layers):
+            try:
+                w = ckpt.arrays[f"net.W{i}"]
+                b = ckpt.arrays[f"net.b{i}"]
+            except KeyError:
+                raise ValueError(
+                    f"checkpoint is missing arrays for layer {i}"
+                ) from None
+            if w.shape != layer.W.shape or b.shape != layer.b.shape:
+                raise ValueError(
+                    f"layer {i} shape mismatch: checkpoint {w.shape} vs "
+                    f"network {layer.W.shape}"
+                )
+            layer.W = w.copy()
+            layer.b = b.copy()
+        payload = ckpt.payload
+        self.optimizer.load_state_dict(payload["optimizer"], ckpt.arrays)
+        self.rng.bit_generator.state = payload["rng_state"]
+        loader.rng.bit_generator.state = payload["loader_rng_state"]
+        restored = History.from_dict(payload["history"])
+        history.epochs[:] = restored.epochs
+        prefix = "aux."
+        aux_arrays = {
+            name[len(prefix):]: arr
+            for name, arr in ckpt.arrays.items()
+            if name.startswith(prefix)
+        }
+        self.restore_checkpoint_state(payload.get("aux", {}), aux_arrays)
+        es = payload["early_stopping"]
+        return int(ckpt.epoch), float(es["best_val"]), int(es["epochs_since_best"])
+
+    # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
@@ -221,6 +346,10 @@ class Trainer:
         verbose: bool = False,
         lr_schedule=None,
         early_stopping_patience: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_tag: Optional[str] = None,
+        resume: bool = True,
     ) -> History:
         """Run the full training loop and return the epoch history.
 
@@ -232,9 +361,35 @@ class Trainer:
         has not improved for that many consecutive epochs (requires a
         validation split) — the standard guard against the §9.3 small-batch
         overfitting regime.
+
+        ``checkpoint_dir`` enables crash-safe training: every
+        ``checkpoint_every`` epochs (default 1) the complete trainer state
+        is written atomically to ``checkpoint_dir/<tag>.ckpt.npz`` (tag
+        defaults to the method name).  When ``resume`` is true and that
+        file already exists, training continues from it — and is bitwise
+        identical to an uninterrupted run with the same seed.  The caller
+        must reconstruct the trainer with the same configuration and seed;
+        a checkpoint from a different method or architecture raises
+        ``ValueError``.
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every requires checkpoint_dir"
+            )
+        ckpt_file: Optional[Path] = None
+        if checkpoint_dir is not None:
+            if checkpoint_every is None:
+                checkpoint_every = 1
+            if checkpoint_every <= 0:
+                raise ValueError(
+                    f"checkpoint_every must be positive, got {checkpoint_every}"
+                )
+            ckpt_file = checkpoint_path(
+                checkpoint_dir, checkpoint_tag or self.name
+            )
+            ckpt_file.parent.mkdir(parents=True, exist_ok=True)
         if early_stopping_patience is not None:
             if early_stopping_patience <= 0:
                 raise ValueError(
@@ -255,8 +410,22 @@ class Trainer:
         history = History(method=self.name)
         best_val = -np.inf
         epochs_since_best = 0
+        start_epoch = 0
+        if ckpt_file is not None and resume and ckpt_file.exists():
+            ckpt = load_checkpoint(ckpt_file)
+            done, best_val, epochs_since_best = self._restore_checkpoint(
+                ckpt, loader, history
+            )
+            start_epoch = done + 1
+            if verbose:
+                print(
+                    f"[{self.name}] resuming from {ckpt_file} "
+                    f"(epoch {start_epoch})"
+                )
+            if ckpt.stopped_early or start_epoch >= epochs:
+                return history
         with self.obs.span("fit"):
-            for epoch in range(epochs):
+            for epoch in range(start_epoch, epochs):
                 if lr_schedule is not None:
                     self.optimizer.lr = float(lr_schedule(epoch))
                 self._t_fwd = 0.0
@@ -292,6 +461,7 @@ class Trainer:
                         f"[{self.name}] epoch {epoch}: loss={stats.loss:.4f}, "
                         f"time={elapsed:.3f}s{acc_str}"
                     )
+                stop = False
                 if early_stopping_patience is not None:
                     if val_acc is not None and val_acc > best_val:
                         best_val = val_acc
@@ -299,7 +469,25 @@ class Trainer:
                     else:
                         epochs_since_best += 1
                         if epochs_since_best >= early_stopping_patience:
-                            break
+                            stop = True
+                if ckpt_file is not None and (
+                    stop
+                    or epoch + 1 == epochs
+                    or (epoch + 1) % checkpoint_every == 0
+                ):
+                    save_checkpoint(
+                        self._capture_checkpoint(
+                            loader,
+                            history,
+                            epoch,
+                            best_val,
+                            epochs_since_best,
+                            stopped_early=stop,
+                        ),
+                        ckpt_file,
+                    )
+                if stop:
+                    break
         return history
 
     # ------------------------------------------------------------------

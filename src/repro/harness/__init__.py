@@ -4,6 +4,7 @@ analytical FLOP/energy models and result persistence."""
 from .config import ExperimentConfig
 from .energy import EnergyEstimate, EnergyModel, estimate_training_energy
 from .executor import (
+    CheckpointedExperimentTask,
     ExecutorError,
     ExperimentExecutor,
     JsonlSink,
@@ -62,6 +63,7 @@ __all__ = [
     "measured_vs_projected",
     "ExperimentExecutor",
     "ExecutorError",
+    "CheckpointedExperimentTask",
     "JsonlSink",
     "TaskOutcome",
     "derive_task_seeds",

@@ -9,6 +9,7 @@ MC-approx, keep probability 0.05 for the dropout family.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional
 
@@ -70,6 +71,15 @@ class ExperimentConfig:
         payload = asdict(self)
         payload["method_kwargs"] = sorted(payload["method_kwargs"].items())
         return repr(sorted(payload.items()))
+
+    def checkpoint_tag(self) -> str:
+        """Filesystem-safe checkpoint file tag, unique per config.
+
+        Derived from :meth:`key` so two different configs sharing a
+        checkpoint directory can never clobber each other's checkpoints.
+        """
+        digest = hashlib.sha1(self.key().encode()).hexdigest()[:16]
+        return f"{self.method}-{digest}"
 
     @classmethod
     def paper_default(

@@ -53,6 +53,7 @@ __all__ = [
     "JsonlSink",
     "ExperimentExecutor",
     "ExecutorError",
+    "CheckpointedExperimentTask",
     "derive_task_seeds",
     "task_key",
     "run_experiment_task",
@@ -104,6 +105,41 @@ def run_experiment_traced(config: ExperimentConfig, dataset: Optional[Dataset]):
     the JSONL sink), where :func:`aggregate_traces` can merge the sweep.
     """
     return run_experiment(config, dataset=dataset, recorder=InMemoryRecorder())
+
+
+class CheckpointedExperimentTask:
+    """Picklable task function that checkpoints every run it executes.
+
+    Each config trains with ``checkpoint_dir`` set, under its
+    :meth:`~repro.harness.config.ExperimentConfig.checkpoint_tag` — so a
+    task killed by the per-task timeout (or a worker crash) resumes from
+    its last completed checkpoint on the next attempt instead of starting
+    over from epoch 0.  Combined with ``retry_timeouts=True`` this turns
+    the timeout budget into forward progress: a task only needs to fit
+    ``checkpoint_every`` epochs per attempt to eventually finish.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        every: int = 1,
+        traced: bool = False,
+    ):
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self.directory = str(directory)
+        self.every = int(every)
+        self.traced = bool(traced)
+
+    def __call__(self, config: ExperimentConfig, dataset: Optional[Dataset]):
+        recorder = InMemoryRecorder() if self.traced else None
+        return run_experiment(
+            config,
+            dataset=dataset,
+            recorder=recorder,
+            checkpoint_every=self.every,
+            checkpoint_dir=self.directory,
+        )
 
 
 def aggregate_traces(outcomes: Sequence["TaskOutcome"]) -> Optional[dict]:
@@ -274,17 +310,28 @@ class ExperimentExecutor:
         Worker processes; ``1`` runs serially in-process (same semantics).
     timeout:
         Per-task wall-clock budget in seconds (None = unlimited).  Timed-out
-        tasks are recorded as ``"timeout"`` and are not retried.
+        tasks are recorded as ``"timeout"`` and are not retried unless
+        ``retry_timeouts`` is set.
     retries:
         How many times a task that *raises* is re-run (with backoff) before
         being recorded as ``"error"``.
     backoff:
         Base delay in seconds before a retry; doubles per attempt.
+    retry_timeouts:
+        When True, a task whose in-worker (``SIGALRM``) timeout fired is
+        retried like an error, consuming the same ``retries`` budget.
+        Pair with :class:`CheckpointedExperimentTask` so each attempt
+        resumes from the last checkpoint rather than repeating the same
+        doomed run.  Parent-side deadline expiries (worker unresponsive)
+        stay terminal either way — the worker may be stuck in native code
+        and retrying against it would pile up abandoned processes.
     sink:
         Path or :class:`JsonlSink` receiving incremental outcome records.
     task_fn:
         ``task_fn(task, dataset) -> result``; must be picklable (a
-        module-level function).  Defaults to :func:`run_experiment_task`.
+        module-level function or an instance of a module-level class, e.g.
+        :class:`CheckpointedExperimentTask`).  Defaults to
+        :func:`run_experiment_task`.
     """
 
     #: extra seconds the parent waits past ``timeout`` before declaring a
@@ -297,6 +344,7 @@ class ExperimentExecutor:
         timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.1,
+        retry_timeouts: bool = False,
         sink: Optional[Union[str, Path, JsonlSink]] = None,
         task_fn: Callable[[Any, Any], Any] = run_experiment_task,
     ):
@@ -312,6 +360,7 @@ class ExperimentExecutor:
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.retry_timeouts = bool(retry_timeouts)
         if sink is not None and not isinstance(sink, JsonlSink):
             sink = JsonlSink(sink)
         self.sink = sink
@@ -331,9 +380,18 @@ class ExperimentExecutor:
         ``reseed`` (tasks must be :class:`ExperimentConfig`) replaces each
         config's seed with one derived from the root seed by task index —
         see :func:`derive_task_seeds`.  ``resume`` skips tasks whose ``ok``
-        record already exists in the sink.  ``callback`` fires once per
-        fresh terminal outcome, in completion order.
+        record already exists in the sink (and therefore requires one —
+        without a sink there is nothing to resume from, which raises
+        ``ValueError`` rather than silently re-running everything).
+        ``callback`` fires once per fresh terminal outcome, in completion
+        order.
         """
+        if resume and self.sink is None:
+            raise ValueError(
+                "resume=True requires a sink: completed work is matched "
+                "against the sink's records, so without one there is "
+                "nothing to resume from"
+            )
         tasks = list(tasks)
         if reseed is not None:
             seeds = derive_task_seeds(reseed, len(tasks))
@@ -419,6 +477,12 @@ class ExperimentExecutor:
     def _backoff_delay(self, attempt: int) -> float:
         return self.backoff * (2 ** (attempt - 1))
 
+    def _retryable(self, status: str) -> bool:
+        """Whether a worker-reported failure status consumes a retry."""
+        if status == "error":
+            return True
+        return status == "timeout" and self.retry_timeouts
+
     # ------------------------------------------------------------------
     def _run_serial(self, tasks, indices, dataset, record, record_retry):
         """In-process execution with identical retry/timeout semantics."""
@@ -429,7 +493,7 @@ class ExperimentExecutor:
                 status, payload, duration = _execute(
                     self.task_fn, tasks[i], dataset, self.timeout
                 )
-                if status == "error" and attempt <= self.retries:
+                if self._retryable(status) and attempt <= self.retries:
                     record_retry(i, attempt, payload)
                     time.sleep(self._backoff_delay(attempt))
                     continue
@@ -562,7 +626,7 @@ class ExperimentExecutor:
                 except Exception:  # pragma: no cover - defensive
                     status, duration = "error", time.monotonic() - start
                     payload = traceback.format_exc(limit=20)
-                if status == "error" and attempts[i] <= self.retries:
+                if self._retryable(status) and attempts[i] <= self.retries:
                     record_retry(i, attempts[i], payload)
                     retry_at[i] = time.monotonic() + self._backoff_delay(attempts[i])
                 else:

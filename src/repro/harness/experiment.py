@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -77,6 +78,8 @@ def run_experiment(
     config: ExperimentConfig,
     dataset: Optional[Dataset] = None,
     recorder: Optional[Recorder] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Train per the config and evaluate on the test split.
 
@@ -88,6 +91,14 @@ def run_experiment(
     the trainer; its snapshot is attached to the result as ``trace``.
     Without one, training runs with the no-op recorder and ``trace`` is
     None.
+
+    ``checkpoint_dir`` enables crash-safe training (see
+    :meth:`repro.core.base.Trainer.fit`): the trainer state is written
+    every ``checkpoint_every`` epochs under the config's
+    :meth:`~repro.harness.config.ExperimentConfig.checkpoint_tag`, and an
+    interrupted run invoked again with the same config resumes from the
+    last checkpoint, bitwise-identically.  ``train_time`` then covers only
+    the epochs actually run in this invocation.
     """
     if dataset is None:
         dataset = load_benchmark(config.dataset, scale=config.data_scale, seed=config.seed)
@@ -109,6 +120,11 @@ def run_experiment(
         batch_size=config.batch_size,
         x_val=dataset.x_val if dataset.n_val else None,
         y_val=dataset.y_val if dataset.n_val else None,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_tag=(
+            config.checkpoint_tag() if checkpoint_dir is not None else None
+        ),
     )
     train_time = time.perf_counter() - start
 

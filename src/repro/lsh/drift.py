@@ -77,3 +77,18 @@ class ColumnDriftTracker:
         cols = np.asarray(cols)
         if cols.size:
             self._reference[:, cols] = weights[:, cols]
+
+    @property
+    def reference(self) -> np.ndarray:
+        """The per-column reference snapshot (checkpoint support)."""
+        return self._reference
+
+    def restore_reference(self, reference: np.ndarray) -> None:
+        """Replace the reference snapshot with a checkpointed copy."""
+        reference = np.asarray(reference, dtype=float)
+        if reference.shape != self._reference.shape:
+            raise ValueError(
+                f"reference shape {reference.shape} does not match "
+                f"{self._reference.shape}"
+            )
+        self._reference = reference.copy()

@@ -279,6 +279,34 @@ class FlatHashTables:
         self._reset(0)
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Bucket state as arrays: ``item_gcode`` alone is ground truth."""
+        return {"item_gcode": self.item_gcode.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore bucket membership captured by :meth:`state_dict`.
+
+        The CSR snapshot is re-packed per table from the restored
+        ``item_gcode``, so subsequent queries return exactly the candidate
+        sets the saved instance would have (internal compaction layout is
+        not part of the contract — it never affects results).
+        """
+        gcode = np.asarray(state["item_gcode"], dtype=np.int64)
+        if gcode.ndim != 2 or gcode.shape[0] != self.n_tables:
+            raise ValueError(
+                f"item_gcode must be ({self.n_tables}, n) shaped, "
+                f"got {gcode.shape}"
+            )
+        before = self.compactions
+        self._reset(gcode.shape[1])
+        self.item_gcode = np.ascontiguousarray(gcode)
+        for t in range(self.n_tables):
+            self._compact(t)
+        self.compactions = before
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:

@@ -135,6 +135,26 @@ class MIPSIndex:
         q = self.transform.transform_query(np.asarray(queries, dtype=float))
         return self.index.query_batch(q)
 
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Mutable index state as ``(meta, arrays)`` for checkpointing.
+
+        Captures the bucket tables plus the fitted P-transform scale; the
+        hash hyperplanes are reproduced from the construction seed, so the
+        restoring instance must be built with the same parameters.
+        """
+        meta = {"n_items": self._n_items, "data_scale": self._data_scale}
+        return meta, self.index.state_dict()
+
+    def load_state_dict(self, meta, arrays) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._n_items = int(meta["n_items"])
+        scale = meta["data_scale"]
+        self._data_scale = None if scale is None else float(scale)
+        self.index.load_state_dict(arrays)
+
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the underlying tables."""
         return self.index.memory_bytes()

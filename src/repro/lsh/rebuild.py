@@ -79,3 +79,17 @@ class RebuildScheduler:
         self._seen = 0
         self._since_rebuild = 0
         self.rebuild_count = 0
+
+    def state_dict(self) -> dict:
+        """Mutable counters as a JSON-safe dict (checkpoint support)."""
+        return {
+            "seen": self._seen,
+            "since_rebuild": self._since_rebuild,
+            "rebuild_count": self.rebuild_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        self._seen = int(state["seen"])
+        self._since_rebuild = int(state["since_rebuild"])
+        self.rebuild_count = int(state["rebuild_count"])

@@ -87,6 +87,27 @@ class HashTable:
         self.buckets.clear()
         self._item_bucket.clear()
 
+    def state(self):
+        """Bucket membership as ``(items, codes)`` arrays (sorted by id)."""
+        items = np.fromiter(
+            sorted(self._item_bucket), dtype=np.int64, count=len(self._item_bucket)
+        )
+        codes = np.fromiter(
+            (self._item_bucket[i] for i in items.tolist()),
+            dtype=np.int64,
+            count=items.size,
+        )
+        return items, codes
+
+    def restore(self, items: np.ndarray, codes: np.ndarray) -> None:
+        """Rebuild buckets from a :meth:`state` capture (no re-hashing)."""
+        self.clear()
+        for item, code in zip(
+            np.asarray(items).tolist(), np.asarray(codes).tolist()
+        ):
+            self.buckets.setdefault(code, set()).add(item)
+            self._item_bucket[item] = code
+
     def __len__(self) -> int:
         return len(self._item_bucket)
 
@@ -227,6 +248,34 @@ class LSHIndex:
             self.obs.add(LSH_QUERIES, len(results))
             self.obs.add(LSH_CANDIDATES, int(sum(r.size for r in results)))
         return results
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Bucket state of every table as npz-friendly flat arrays.
+
+        Hash functions are *not* captured: they are a pure function of the
+        construction seed, so the restoring index must be built with the
+        same shape/family/seed (the trainers guarantee this by
+        reconstructing from the same config).
+        """
+        if self.flat is not None:
+            return dict(self.flat.state_dict())
+        out: Dict[str, np.ndarray] = {}
+        for t, table in enumerate(self.tables):
+            items, codes = table.state()
+            out[f"t{t}.items"] = items
+            out[f"t{t}.codes"] = codes
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore bucket state captured by :meth:`state_dict`."""
+        if self.flat is not None:
+            self.flat.load_state_dict(state)
+            return
+        for t, table in enumerate(self.tables):
+            table.restore(state[f"t{t}.items"], state[f"t{t}.codes"])
 
     def bucket_loads(self) -> List[np.ndarray]:
         """Per-table array of item counts for each occupied bucket.

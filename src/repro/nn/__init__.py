@@ -18,6 +18,12 @@ from .activations import (
     Tanh,
     get_activation,
 )
+from .checkpoint import (
+    TrainerCheckpoint,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .layers import DenseLayer
 from .losses import CrossEntropyLoss, Loss, MSELoss, NLLLoss, get_loss
 from .metrics import (
@@ -79,4 +85,8 @@ __all__ = [
     "distinct_predictions",
     "topk_accuracy",
     "collapse_report",
+    "TrainerCheckpoint",
+    "checkpoint_path",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

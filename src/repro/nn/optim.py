@@ -127,6 +127,52 @@ class Optimizer:
         """Drop all accumulated state (fresh optimiser)."""
         self._state.clear()
 
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Complete optimiser state as ``(meta, arrays)``.
+
+        ``meta`` is JSON-safe (optimiser name, learning rate, slot layout)
+        and ``arrays`` maps flat names to the slot arrays, ready for an
+        ``.npz`` checkpoint.  Parameter keys must be strings or flat tuples
+        of JSON scalars (the trainers use ``("W", i)`` / ``("b", i)``).
+        """
+        meta = {
+            "name": getattr(self, "name", type(self).__name__.lower()),
+            "lr": self.lr,
+            "keys": [],
+        }
+        arrays = {}
+        for j, (key, state) in enumerate(self._state.items()):
+            meta["keys"].append(
+                {
+                    "key": list(key) if isinstance(key, tuple) else key,
+                    "tuple": isinstance(key, tuple),
+                    "slots": sorted(state),
+                }
+            )
+            for slot in state:
+                arrays[f"opt.{j}.{slot}"] = state[slot]
+        return meta, arrays
+
+    def load_state_dict(self, meta, arrays) -> None:
+        """Restore state captured by :meth:`state_dict` (exact copy)."""
+        name = getattr(self, "name", type(self).__name__.lower())
+        if meta.get("name") != name:
+            raise ValueError(
+                f"checkpoint holds {meta.get('name')!r} optimiser state, "
+                f"this trainer uses {name!r}"
+            )
+        self.lr = float(meta["lr"])
+        self._state.clear()
+        for j, entry in enumerate(meta["keys"]):
+            key = tuple(entry["key"]) if entry["tuple"] else entry["key"]
+            self._state[key] = {
+                slot: np.array(arrays[f"opt.{j}.{slot}"])
+                for slot in entry["slots"]
+            }
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent: ``p ← p − lr · g``."""

@@ -111,6 +111,16 @@ class WarmupSchedule:
         return self.after(epoch)
 
 
+def _make_warmup(lr: float, after="constant", warmup_epochs: int = 3, **kwargs):
+    """Registry adapter for :class:`WarmupSchedule`.
+
+    ``after`` names (or is) the schedule handed off to once warm-up ends;
+    remaining kwargs configure that inner schedule.
+    """
+    inner = after if callable(after) else get_schedule(after, lr, **kwargs)
+    return WarmupSchedule(inner, warmup_epochs=warmup_epochs)
+
+
 def get_schedule(name, lr: float, **kwargs) -> Schedule:
     """Build a schedule by name (or pass a callable through)."""
     if callable(name):
@@ -120,6 +130,7 @@ def get_schedule(name, lr: float, **kwargs) -> Schedule:
         "step": StepDecaySchedule,
         "exponential": ExponentialDecaySchedule,
         "cosine": CosineSchedule,
+        "warmup": _make_warmup,
     }
     try:
         cls = registry[name]

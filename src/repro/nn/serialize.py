@@ -12,19 +12,45 @@ protocol can resume from a trained extractor.
 from __future__ import annotations
 
 import json
+import os
+import struct
+import tempfile
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from .conv import ConvClassifier, ConvFeatureExtractor
 from .network import MLP
 
-__all__ = ["save_mlp", "load_mlp", "save_conv", "load_conv"]
+__all__ = [
+    "save_mlp",
+    "load_mlp",
+    "save_conv",
+    "load_conv",
+    "atomic_savez",
+    "read_archive",
+]
 
 _FORMAT_VERSION = 1
 _MLP_KIND = "mlp"
 _CONV_KIND = "conv_classifier"
+
+#: Everything ``np.load`` can raise on a truncated or garbled ``.npz`` —
+#: a half-written zip directory (BadZipFile), a cut-off member (zlib
+#: error / EOFError / struct.error) or a mangled ``.npy`` header
+#: (ValueError / OSError).
+_CORRUPT_ARCHIVE_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    EOFError,
+    struct.error,
+    ValueError,
+    OSError,
+    KeyError,
+)
 
 
 def _normalise_path(path: Union[str, Path]) -> Path:
@@ -32,6 +58,52 @@ def _normalise_path(path: Union[str, Path]) -> Path:
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     return path
+
+
+def atomic_savez(path: Union[str, Path], arrays: Dict[str, np.ndarray]) -> Path:
+    """Write an ``.npz`` archive atomically (same-dir temp + ``os.replace``).
+
+    A crash at any point leaves either the previous archive or the new one
+    intact, never a truncated file — the property the checkpoint/resume
+    subsystem and the model savers rely on.  Returns ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_archive(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Load every array of an ``.npz`` archive, validating integrity.
+
+    Raises ``FileNotFoundError`` for a missing file and a clear
+    ``ValueError`` for truncated/corrupt archives (every member is read
+    eagerly, so mid-file truncation cannot surface later as a confusing
+    decompression error).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except _CORRUPT_ARCHIVE_ERRORS as exc:
+        raise ValueError(
+            f"{path} is not a readable .npz archive (truncated or corrupt): "
+            f"{exc}"
+        ) from exc
 
 
 def _read_meta(archive, path: Path, expected_kind: str) -> dict:
@@ -69,9 +141,7 @@ def save_mlp(net: MLP, path: Union[str, Path]) -> Path:
     for i, layer in enumerate(net.layers):
         arrays[f"W{i}"] = layer.W
         arrays[f"b{i}"] = layer.b
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    return path
+    return atomic_savez(path, arrays)
 
 
 def _restore_mlp(archive, path: Path, meta: dict, prefix: str = "") -> MLP:
@@ -82,8 +152,11 @@ def _restore_mlp(archive, path: Path, meta: dict, prefix: str = "") -> MLP:
         seed=0,
     )
     for i, layer in enumerate(net.layers):
-        w = archive[f"{prefix}W{i}"]
-        b = archive[f"{prefix}b{i}"]
+        try:
+            w = archive[f"{prefix}W{i}"]
+            b = archive[f"{prefix}b{i}"]
+        except KeyError:
+            raise ValueError(f"layer {i} arrays missing from {path}") from None
         if w.shape != layer.W.shape or b.shape != layer.b.shape:
             raise ValueError(f"layer {i} shape mismatch in {path}")
         layer.W = w.copy()
@@ -98,11 +171,9 @@ def load_mlp(path: Union[str, Path]) -> MLP:
     versions, or archives holding a different model kind.
     """
     path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        meta = _read_meta(archive, path, _MLP_KIND)
-        return _restore_mlp(archive, path, meta)
+    archive = read_archive(path)
+    meta = _read_meta(archive, path, _MLP_KIND)
+    return _restore_mlp(archive, path, meta)
 
 
 def save_conv(model: ConvClassifier, path: Union[str, Path]) -> Path:
@@ -134,9 +205,7 @@ def save_conv(model: ConvClassifier, path: Union[str, Path]) -> Path:
     for i, layer in enumerate(model.head.layers):
         arrays[f"head_W{i}"] = layer.W
         arrays[f"head_b{i}"] = layer.b
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    return path
+    return atomic_savez(path, arrays)
 
 
 def load_conv(path: Union[str, Path]) -> ConvClassifier:
@@ -146,30 +215,28 @@ def load_conv(path: Union[str, Path]) -> ConvClassifier:
     versions, or archives holding a different model kind.
     """
     path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        meta = _read_meta(archive, path, _CONV_KIND)
-        stage_meta = meta["stages"]
-        kernels = [archive[f"K{i}"] for i in range(len(stage_meta))]
-        if not kernels:
-            raise ValueError(f"{path} holds no conv stages")
-        extractor = ConvFeatureExtractor(
-            in_channels=kernels[0].shape[1],
-            channels=[k.shape[0] for k in kernels],
-            field=kernels[0].shape[2],
-            pool=stage_meta[0]["pool"],
-            seed=0,
-        )
-        for i, (conv, pool) in enumerate(extractor.stages):
-            # Per-stage geometry may differ from the constructor defaults
-            # (heterogeneous fields/pools are legal when stages are built
-            # by hand), so restore it explicitly.
-            conv.kernels = kernels[i].copy()
-            conv.bias = archive[f"cb{i}"].copy()
-            conv.field = kernels[i].shape[2]
-            conv.stride = stage_meta[i]["stride"]
-            conv.pad = stage_meta[i]["pad"]
-            pool.size = stage_meta[i]["pool"]
-        head = _restore_mlp(archive, path, meta["head"], prefix="head_")
+    archive = read_archive(path)
+    meta = _read_meta(archive, path, _CONV_KIND)
+    stage_meta = meta["stages"]
+    kernels = [archive[f"K{i}"] for i in range(len(stage_meta))]
+    if not kernels:
+        raise ValueError(f"{path} holds no conv stages")
+    extractor = ConvFeatureExtractor(
+        in_channels=kernels[0].shape[1],
+        channels=[k.shape[0] for k in kernels],
+        field=kernels[0].shape[2],
+        pool=stage_meta[0]["pool"],
+        seed=0,
+    )
+    for i, (conv, pool) in enumerate(extractor.stages):
+        # Per-stage geometry may differ from the constructor defaults
+        # (heterogeneous fields/pools are legal when stages are built
+        # by hand), so restore it explicitly.
+        conv.kernels = kernels[i].copy()
+        conv.bias = archive[f"cb{i}"].copy()
+        conv.field = kernels[i].shape[2]
+        conv.stride = stage_meta[i]["stride"]
+        conv.pad = stage_meta[i]["pad"]
+        pool.size = stage_meta[i]["pool"]
+    head = _restore_mlp(archive, path, meta["head"], prefix="head_")
     return ConvClassifier(extractor, head, lr=meta["lr"])

@@ -18,6 +18,7 @@ import pytest
 from repro.core.registry import make_trainer
 from repro.harness.config import ExperimentConfig
 from repro.harness.executor import (
+    CheckpointedExperimentTask,
     ExecutorError,
     ExperimentExecutor,
     JsonlSink,
@@ -311,3 +312,124 @@ class TestRunExperimentDeterminism:
             return history.losses()
 
         np.testing.assert_array_equal(losses(), losses())
+
+
+def checkpointed_slow_task(task, dataset):
+    """Trains with checkpointing; the first attempt hangs after 2 epochs.
+
+    Every trained epoch index is appended to ``epochs.log``, so a test can
+    distinguish a retry that resumed from the checkpoint (epochs 0 1 2 3)
+    from one that started over (0 1 0 1 2 3).
+    """
+    d = Path(task["dir"])
+    d.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(40, 6))
+    y = rng.integers(0, 3, size=40)
+    net = MLP([6, 8, 3], seed=0)
+    trainer = make_trainer("standard", net, seed=1)
+
+    def logging_schedule(epoch):
+        with open(d / "epochs.log", "a", encoding="utf-8") as f:
+            f.write(f"{epoch}\n")
+        return 1e-2
+
+    first_attempt = not (d / "attempted").exists()
+    (d / "attempted").touch()
+    history = trainer.fit(
+        x, y, epochs=2 if first_attempt else 4, batch_size=10,
+        lr_schedule=logging_schedule,
+        checkpoint_every=1, checkpoint_dir=d,
+    )
+    if first_attempt:
+        time.sleep(30)  # the per-task timeout fires here
+    return len(history.epochs)
+
+
+class TestRetryTimeouts:
+    def test_timeouts_not_retried_by_default(self):
+        executor = ExperimentExecutor(
+            max_workers=1, timeout=0.3, retries=1, backoff=0.01,
+            task_fn=sleepy_task,
+        )
+        outcomes = executor.run([{"value": 0, "sleep": 10.0}])
+        assert outcomes[0].status == "timeout"
+        assert outcomes[0].attempts == 1
+
+    def test_timeouts_consume_retry_budget(self):
+        executor = ExperimentExecutor(
+            max_workers=1, timeout=0.3, retries=1, backoff=0.01,
+            retry_timeouts=True, task_fn=sleepy_task,
+        )
+        outcomes = executor.run([{"value": 0, "sleep": 10.0}])
+        assert outcomes[0].status == "timeout"
+        assert outcomes[0].attempts == 2  # 1 try + 1 retry, then terminal
+
+    def test_timed_out_task_resumes_from_checkpoint(self, tmp_path):
+        """The ISSUE's acceptance scenario: a task killed by the per-task
+        timeout mid-training finishes on its retry, resuming from the last
+        checkpoint instead of epoch 0."""
+        sink = tmp_path / "sink.jsonl"
+        run_dir = tmp_path / "run"
+        executor = ExperimentExecutor(
+            max_workers=1, timeout=2.0, retries=1, backoff=0.01,
+            retry_timeouts=True, sink=sink, task_fn=checkpointed_slow_task,
+        )
+        outcomes = executor.run([{"dir": str(run_dir)}])
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].result == 4  # resumed history spans all 4 epochs
+        # Attempt 1 trained epochs 0-1; attempt 2 resumed at 2 — exactly
+        # four epoch starts total, none repeated.
+        log = (run_dir / "epochs.log").read_text().split()
+        assert log == ["0", "1", "2", "3"]
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        retries = [r for r in records if r["status"] == "retry"]
+        assert len(retries) == 1
+        assert "budget" in retries[0]["error"]
+
+
+class TestResumeValidation:
+    def test_resume_without_sink_rejected(self):
+        executor = ExperimentExecutor(max_workers=1, task_fn=double_task)
+        with pytest.raises(ValueError, match="resume=True requires a sink"):
+            executor.run([{"value": 1}], resume=True)
+
+
+class TestCheckpointedExperimentTask:
+    def test_is_picklable(self, tmp_path):
+        import pickle
+
+        task_fn = CheckpointedExperimentTask(tmp_path, every=2)
+        clone = pickle.loads(pickle.dumps(task_fn))
+        assert clone.directory == str(tmp_path)
+        assert clone.every == 2
+
+    def test_invalid_every(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            CheckpointedExperimentTask(tmp_path, every=0)
+
+    def test_checkpoints_under_config_tag(self, tiny_dataset, tmp_path):
+        cfg = small_config(epochs=2)
+        task_fn = CheckpointedExperimentTask(tmp_path)
+        first = task_fn(cfg, tiny_dataset)
+        ckpt = tmp_path / f"{cfg.checkpoint_tag()}.ckpt.npz"
+        assert ckpt.exists()
+        # Re-running the same config resumes a finished run: no new epochs,
+        # same trained outcome.
+        second = task_fn(cfg, tiny_dataset)
+        assert_results_equal(first, second)
+
+    def test_executor_integration(self, tiny_dataset, tmp_path):
+        configs = [small_config(epochs=2, seed=s) for s in (0, 1)]
+        executor = ExperimentExecutor(
+            max_workers=1,
+            sink=tmp_path / "sink.jsonl",
+            task_fn=CheckpointedExperimentTask(tmp_path / "ckpts"),
+        )
+        outcomes = executor.run(configs, dataset=tiny_dataset)
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        stored = sorted(p.name for p in (tmp_path / "ckpts").iterdir())
+        assert stored == sorted(
+            f"{c.checkpoint_tag()}.ckpt.npz" for c in configs
+        )

@@ -1,0 +1,156 @@
+"""Tests for the checkpoint archive layer (repro.nn.checkpoint).
+
+The trainer-level resume guarantees live in
+``tests/core/test_resume_equality.py``; this file covers the archive
+format itself: lossless round-trips, the atomic-write contract, and the
+clear errors promised for corrupt, truncated or foreign archives.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoint import (
+    TrainerCheckpoint,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def sample_checkpoint() -> TrainerCheckpoint:
+    rng = np.random.default_rng(0)
+    return TrainerCheckpoint(
+        method="standard",
+        epoch=4,
+        stopped_early=False,
+        payload={
+            "rng_state": np.random.default_rng(3).bit_generator.state,
+            "early_stopping": {"best_val": 0.75, "epochs_since_best": 1},
+            "nested": {"pi": 0.1 + 0.2, "big": 2**77},
+        },
+        arrays={
+            "net.W0": rng.normal(size=(5, 7)),
+            "net.b0": rng.normal(size=7),
+            "aux.touched0": np.array([1, 4, 6], dtype=np.int64),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_everything_preserved_bitwise(self, tmp_path):
+        ckpt = sample_checkpoint()
+        path = save_checkpoint(ckpt, tmp_path / "t.ckpt.npz")
+        loaded = load_checkpoint(path)
+        assert loaded.method == ckpt.method
+        assert loaded.epoch == ckpt.epoch
+        assert loaded.stopped_early == ckpt.stopped_early
+        # JSON round-trips floats and arbitrary-precision ints exactly,
+        # which is what makes rng bit-generator states checkpointable.
+        assert loaded.payload == ckpt.payload
+        assert set(loaded.arrays) == set(ckpt.arrays)
+        for name in ckpt.arrays:
+            np.testing.assert_array_equal(loaded.arrays[name], ckpt.arrays[name])
+            assert loaded.arrays[name].dtype == ckpt.arrays[name].dtype
+
+    def test_rng_state_restores_identical_stream(self, tmp_path):
+        gen = np.random.default_rng(42)
+        gen.normal(size=100)  # advance
+        ckpt = TrainerCheckpoint(
+            method="standard",
+            epoch=0,
+            payload={"rng_state": gen.bit_generator.state},
+        )
+        expected = gen.normal(size=8)
+        loaded = load_checkpoint(save_checkpoint(ckpt, tmp_path / "r.npz"))
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = loaded.payload["rng_state"]
+        np.testing.assert_array_equal(fresh.normal(size=8), expected)
+
+    def test_stopped_early_flag(self, tmp_path):
+        ckpt = sample_checkpoint()
+        ckpt.stopped_early = True
+        loaded = load_checkpoint(save_checkpoint(ckpt, tmp_path / "s.npz"))
+        assert loaded.stopped_early is True
+
+
+class TestCheckpointPath:
+    def test_tagged(self, tmp_path):
+        assert checkpoint_path(tmp_path, "run-7") == tmp_path / "run-7.ckpt.npz"
+
+    def test_default_tag(self, tmp_path):
+        assert checkpoint_path(tmp_path) == tmp_path / "trainer.ckpt.npz"
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "t.ckpt.npz"
+        for _ in range(3):
+            save_checkpoint(sample_checkpoint(), path)
+        assert os.listdir(tmp_path) == ["t.ckpt.npz"]
+
+    def test_overwrite_replaces_whole_archive(self, tmp_path):
+        path = tmp_path / "t.ckpt.npz"
+        first = sample_checkpoint()
+        save_checkpoint(first, path)
+        second = TrainerCheckpoint(
+            method="standard", epoch=9, arrays={"net.W0": np.ones(2)}
+        )
+        save_checkpoint(second, path)
+        loaded = load_checkpoint(path)
+        assert loaded.epoch == 9
+        assert set(loaded.arrays) == {"net.W0"}
+
+    def test_reserved_array_name_rejected(self, tmp_path):
+        ckpt = sample_checkpoint()
+        ckpt.arrays["meta"] = np.zeros(1)
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint(ckpt, tmp_path / "t.npz")
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "ghost.ckpt.npz")
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9])
+    def test_truncated_archive(self, tmp_path, keep_fraction):
+        path = save_checkpoint(sample_checkpoint(), tmp_path / "t.ckpt.npz")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * keep_fraction)])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_checkpoint(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.ckpt.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_checkpoint(path)
+
+    def test_non_checkpoint_npz(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, x=np.zeros(3))
+        with pytest.raises(ValueError, match="not a trainer checkpoint"):
+            load_checkpoint(path)
+
+    def test_foreign_kind_rejected(self, tmp_path):
+        from repro.nn.network import MLP
+        from repro.nn.serialize import save_mlp
+
+        path = save_mlp(MLP([4, 2], seed=0), tmp_path / "model")
+        with pytest.raises(ValueError, match="trainer_checkpoint"):
+            load_checkpoint(path)
+
+    def test_unknown_format_version(self, tmp_path):
+        import json
+
+        meta = {"format_version": 99, "kind": "trainer_checkpoint",
+                "method": "standard", "epoch": 0, "stopped_early": False}
+        path = tmp_path / "future.ckpt.npz"
+        np.savez(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="format version"):
+            load_checkpoint(path)

@@ -88,6 +88,31 @@ class TestRegistry:
         fn = lambda e: 0.1
         assert get_schedule(fn, 1.0) is fn
 
+    def test_warmup_lookup(self):
+        s = get_schedule("warmup", 1e-2)
+        assert isinstance(s, WarmupSchedule)
+        assert isinstance(s.after, ConstantSchedule)
+
+    def test_warmup_values_default_constant(self):
+        s = get_schedule("warmup", 1.0, warmup_epochs=4)
+        assert s(0) == pytest.approx(0.25)
+        assert s(1) == pytest.approx(0.5)
+        assert s(3) == pytest.approx(1.0)
+        assert s(10) == 1.0
+
+    def test_warmup_wraps_named_inner_schedule(self):
+        s = get_schedule("warmup", 1.0, after="exponential", decay=0.5,
+                         warmup_epochs=2)
+        assert isinstance(s.after, ExponentialDecaySchedule)
+        # Ramp targets the inner schedule's value at the hand-off epoch.
+        assert s(0) == pytest.approx(0.5 * 1.0 * 0.5**2)
+        assert s(5) == pytest.approx(1.0 * 0.5**5)
+
+    def test_warmup_wraps_callable_inner_schedule(self):
+        s = get_schedule("warmup", 1.0, after=lambda e: 0.2, warmup_epochs=2)
+        assert s(0) == pytest.approx(0.1)
+        assert s(7) == pytest.approx(0.2)
+
     def test_unknown(self):
         with pytest.raises(ValueError, match="unknown schedule"):
             get_schedule("cyclical", 1.0)

@@ -120,3 +120,74 @@ class TestErrors:
     def test_creates_parent_dirs(self, tmp_path):
         path = save_mlp(MLP([4, 2], seed=0), tmp_path / "a" / "b" / "model")
         assert path.exists()
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        from repro.nn.serialize import atomic_savez
+
+        path = tmp_path / "model.npz"
+        for _ in range(3):
+            atomic_savez(path, {"x": np.arange(4)})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_failed_write_preserves_previous_archive(self, tmp_path):
+        """A crash mid-save must leave the old archive intact."""
+        from repro.nn.serialize import atomic_savez
+
+        path = tmp_path / "model.npz"
+        atomic_savez(path, {"x": np.arange(4)})
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("boom mid-write")
+
+        with pytest.raises(RuntimeError):
+            atomic_savez(path, {"x": np.array([Unpicklable()], dtype=object)})
+        loaded = np.load(path)
+        np.testing.assert_array_equal(loaded["x"], np.arange(4))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_save_mlp_is_atomic(self, tmp_path):
+        path = save_mlp(MLP([4, 3, 2], seed=0), tmp_path / "model")
+        save_mlp(MLP([4, 3, 2], seed=1), path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+
+class TestCorruptArchives:
+    @pytest.mark.parametrize("keep_fraction", [0.2, 0.6, 0.95])
+    def test_truncated_mlp_archive(self, tmp_path, keep_fraction):
+        path = save_mlp(MLP([16, 8, 4], seed=0), tmp_path / "model")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * keep_fraction)])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_mlp(path)
+
+    def test_truncated_conv_archive(self, tmp_path):
+        path = save_conv(_conv_model(), tmp_path / "conv")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_conv(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00\x01 definitely not a zip")
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_mlp(path)
+
+    def test_missing_layer_arrays(self, tmp_path):
+        """A valid zip with members deleted fails with the model error,
+        not a KeyError."""
+        import json
+
+        meta = {"format_version": 1, "kind": "mlp", "layer_sizes": [4, 3, 2],
+                "hidden_activation": "relu", "output_activation": "log_softmax"}
+        path = tmp_path / "partial.npz"
+        np.savez(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            W0=np.zeros((4, 3)), b0=np.zeros(3),
+        )
+        with pytest.raises(ValueError, match="layer 1 arrays missing"):
+            load_mlp(path)
