@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Perf-regression microbenchmark: observability overhead.
+
+Like ``bench_lsh_backend.py`` this is a plain script so CI can run it
+without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke --check
+
+It trains a paper-shape MLP for a fixed number of batches under four
+instrumentation levels — NullRecorder, NullRecorder with the default
+quality probes attached, InMemoryRecorder, and InMemoryRecorder with
+probes at the default cadence — takes the min over repeats, and writes
+``BENCH_obs.json`` at the repo root.  Under ``--check`` it fails when:
+
+* attaching probes under the NullRecorder costs anything measurable
+  (probes must short-circuit on ``enabled`` — the no-op guarantee), or
+* probes at the default cadence cost more than 5 % of traced training
+  wall-clock.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.registry import make_trainer  # noqa: E402
+from repro.nn.network import MLP  # noqa: E402
+from repro.obs import InMemoryRecorder  # noqa: E402
+from repro.obs.probes import (  # noqa: E402
+    DEFAULT_PROBE_EVERY,
+    ProbeManager,
+    default_probes,
+)
+
+# Timing noise floor for the "≈ 0" gate: min-of-repeats still jitters a
+# few percent on shared CI runners.
+NULL_TOLERANCE = 0.03
+PROBE_BUDGET_FRAC = 0.05
+
+
+def _make_data(sizes, n_samples, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n_samples, sizes[0]))
+    y = rng.integers(0, sizes[-1], size=n_samples)
+    return x, y
+
+
+def _run_once(sizes, x, y, batch_size, epochs, recorder, probe_every, seed):
+    net = MLP(sizes, seed=seed)
+    trainer = make_trainer(
+        "standard", net, lr=1e-3, seed=seed, recorder=recorder
+    )
+    if probe_every is not None:
+        trainer.attach_probes(
+            ProbeManager(
+                default_probes(), probe_every=probe_every, seed=seed
+            )
+        )
+    start = time.perf_counter()
+    trainer.fit(x, y, epochs=epochs, batch_size=batch_size)
+    return time.perf_counter() - start
+
+
+def _time_variant(repeats, make_recorder, probe_every, **kw):
+    return min(
+        _run_once(recorder=make_recorder(), probe_every=probe_every, **kw)
+        for _ in range(repeats)
+    )
+
+
+def run(smoke=False, repeats=3, out=None, check=False):
+    if smoke:
+        sizes = [64, 256, 256, 10]
+        n_samples, batch_size, epochs = 2400, 10, 2  # 480 batches
+    else:
+        sizes = [784, 1000, 1000, 1000, 10]  # the paper's MNIST shape
+        n_samples, batch_size, epochs = 3000, 20, 2  # 300 batches
+    x, y = _make_data(sizes, n_samples, seed=0)
+    kw = dict(
+        sizes=sizes, x=x, y=y, batch_size=batch_size, epochs=epochs, seed=0
+    )
+
+    variants = {
+        "null": (lambda: None, None),
+        "null_probed": (lambda: None, DEFAULT_PROBE_EVERY),
+        "inmem": (InMemoryRecorder, None),
+        "inmem_probed": (InMemoryRecorder, DEFAULT_PROBE_EVERY),
+    }
+    times = {}
+    for name, (make_recorder, probe_every) in variants.items():
+        times[name] = _time_variant(repeats, make_recorder, probe_every, **kw)
+        print(f"  {name:<14} {times[name]:.3f}s")
+
+    overhead = {
+        "null_probed_vs_null": times["null_probed"] / times["null"] - 1.0,
+        "inmem_vs_null": times["inmem"] / times["null"] - 1.0,
+        "inmem_probed_vs_inmem": times["inmem_probed"] / times["inmem"] - 1.0,
+    }
+    for name, frac in overhead.items():
+        print(f"  {name:<24} {frac:+.2%}")
+
+    report = {
+        "schema": "bench_obs/1",
+        "smoke": bool(smoke),
+        "sizes": sizes,
+        "batches_per_epoch": n_samples // batch_size,
+        "epochs": epochs,
+        "batch_size": batch_size,
+        "probe_every": DEFAULT_PROBE_EVERY,
+        "repeats": repeats,
+        "seconds": times,
+        "overhead": overhead,
+        "gates": {
+            "null_probed_vs_null_max": NULL_TOLERANCE,
+            "inmem_probed_vs_inmem_max": PROBE_BUDGET_FRAC,
+        },
+    }
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if check:
+        failures = []
+        if overhead["null_probed_vs_null"] > NULL_TOLERANCE:
+            failures.append(
+                "probes attached under NullRecorder cost "
+                f"{overhead['null_probed_vs_null']:+.2%} "
+                f"(tolerance {NULL_TOLERANCE:.0%}) — the enabled "
+                "short-circuit is broken"
+            )
+        if overhead["inmem_probed_vs_inmem"] > PROBE_BUDGET_FRAC:
+            failures.append(
+                "default-cadence probes cost "
+                f"{overhead['inmem_probed_vs_inmem']:+.2%} of traced "
+                f"training (budget {PROBE_BUDGET_FRAC:.0%})"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small shape for CI (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per variant (min is kept)")
+    parser.add_argument("--out", default=str(_ROOT / "BENCH_obs.json"),
+                        help="JSON report path")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on overhead regression")
+    args = parser.parse_args(argv)
+    return run(smoke=args.smoke, repeats=args.repeats, out=args.out,
+               check=args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

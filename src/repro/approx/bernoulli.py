@@ -25,6 +25,7 @@ __all__ = [
     "bernoulli_sample",
     "bernoulli_multiply",
     "expected_error_frobenius",
+    "estimator_moments",
 ]
 
 
@@ -87,3 +88,51 @@ def expected_error_frobenius(
     p = probs[mask]
     s = scores[mask]
     return float((((1.0 - p) / p) * s * s).sum())
+
+
+def estimator_moments(
+    a: np.ndarray,
+    b: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    draws: int = 8,
+) -> dict:
+    """Empirical bias/variance of the Eq. 7 estimator from repeated draws.
+
+    Draws the estimator ``draws`` times on the same operands and returns
+    relative (Frobenius, against ``‖AB‖_F``) error statistics alongside
+    the closed-form single-draw expectation, so online measurements can
+    be checked against theory:
+
+    * ``rel_bias`` — ``‖mean(estimates) − AB‖ / ‖AB‖``; shrinks like
+      ``1/√draws`` for the unbiased estimator.
+    * ``rel_std`` — mean single-draw relative error.
+    * ``expected_rel_error`` — ``√E‖AB − ÂB‖² / ‖AB‖`` from
+      :func:`expected_error_frobenius` (what ``rel_std`` estimates).
+
+    The quality probes in :mod:`repro.obs.probes` call this with their
+    private RNG; it never touches global state.
+    """
+    if draws < 1:
+        raise ValueError(f"draws must be at least 1, got {draws}")
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    probs = bernoulli_probabilities(a, b, k)
+    exact = a @ b
+    denom = float(np.linalg.norm(exact))
+    if denom == 0.0:
+        denom = 1.0
+    total = np.zeros_like(exact)
+    errs = []
+    for _ in range(draws):
+        est = bernoulli_multiply(a, b, k, rng, probs=probs)
+        total += est
+        errs.append(float(np.linalg.norm(est - exact)) / denom)
+    mean = total / draws
+    expected_sq = expected_error_frobenius(a, b, probs)
+    return {
+        "draws": int(draws),
+        "rel_bias": float(np.linalg.norm(mean - exact)) / denom,
+        "rel_std": float(np.mean(errs)),
+        "expected_rel_error": float(np.sqrt(expected_sq)) / denom,
+    }

@@ -27,7 +27,18 @@ Commands
     Train one configuration with the observability recorder attached and
     print the span tree, the counter catalogue rollup and the measured
     vs analytical FLOP comparison (``--store`` appends the trace record
-    to a JSONL file shareable with the executor sink).
+    to a JSONL file shareable with the executor sink; ``--probe-every``
+    attaches the quality probes; ``--from-store`` renders a previously
+    stored trace instead of training).
+``report``
+    Render a trace/sweep JSONL into a self-contained single-file HTML
+    run report: span tree, counter rollup, time-series sparklines, the
+    measured per-layer forward error overlaid on the Theorem 7.2
+    analytical bound, and probe overhead accounting.
+``monitor``
+    Tail a live run's JSONL sink and print one rolling summary line per
+    record (``--follow`` keeps polling; default prints what is there
+    and exits).
 """
 
 from __future__ import annotations
@@ -137,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace", action="store_true",
                        help="trace every task and print the merged "
                             "counter rollup (aggregate appended to --store)")
+    sweep.add_argument("--probe-every", type=int, default=None,
+                       help="attach read-only quality probes every N "
+                            "batches (requires --trace)")
 
     theory = sub.add_parser("theory", help="print the §7 error table")
     theory.add_argument("--c", type=float, default=5.0,
@@ -167,6 +181,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="apply the §8.4 method defaults before overrides")
     trace.add_argument("--store",
                        help="append the trace record to this JSONL file")
+    trace.add_argument("--probe-every", type=int, default=None,
+                       help="attach read-only quality probes every N batches")
+    trace.add_argument("--from-store", metavar="PATH",
+                       help="render the traces already stored in this "
+                            "JSONL file instead of training")
+
+    report = sub.add_parser(
+        "report", help="render a trace JSONL as a single-file HTML report"
+    )
+    report.add_argument("trace", help="trace/sweep JSONL file to render")
+    report.add_argument("--out", default="report.html",
+                        help="output HTML path (default report.html)")
+    report.add_argument("--title", default=None,
+                        help="report title (defaults to the trace filename)")
+    report.add_argument("--theory-c", type=float, default=5.0,
+                        help="c for the Theorem 7.2 bound overlay "
+                             "(((c+1)/c)^k - 1); default 5.0")
+    report.add_argument("--no-theory", action="store_true",
+                        help="omit the analytical bound overlay")
+
+    monitor = sub.add_parser(
+        "monitor", help="tail a run's JSONL sink with rolling summaries"
+    )
+    monitor.add_argument("sink", help="JSONL sink file to watch")
+    monitor.add_argument("--follow", "-f", action="store_true",
+                         help="keep polling for new records (default: "
+                              "print what is there and exit)")
+    monitor.add_argument("--poll", type=float, default=0.5,
+                         help="seconds between polls with --follow")
 
     from .lsh import bench as lsh_bench
 
@@ -265,17 +308,54 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _load_traces_or_fail(path):
+    """Load a trace JSONL for a CLI command, failing with one clear line.
+
+    Returns ``(traces, corrupt)`` or ``(None, 0)`` after printing the
+    error to stderr (satellite: no tracebacks for empty/missing/corrupt
+    files; corrupt lines in otherwise-good files are skipped with a
+    warning count).
+    """
+    from .obs import load_trace_file
+
+    try:
+        traces, corrupt = load_trace_file(path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 0
+    if corrupt:
+        print(
+            f"warning: skipped {corrupt} corrupt line(s) in {path}",
+            file=sys.stderr,
+        )
+    return traces, corrupt
+
+
 def _cmd_trace_report(args) -> int:
     from .data.benchmarks import load_benchmark
     from .harness.flops import method_step_flops
     from .obs import (
         InMemoryRecorder,
         derived_metrics,
+        merge_snapshots,
         render_trace,
         trace_record,
         write_trace,
     )
     from .obs.counters import FLOPS_ACTUAL, LSH_CANDIDATES, TRAIN_BATCHES
+
+    if args.from_store:
+        traces, _ = _load_traces_or_fail(args.from_store)
+        if traces is None:
+            return 2
+        merged = merge_snapshots([t["snapshot"] for t in traces])
+        print(
+            render_trace(
+                merged,
+                title=f"trace: {len(traces)} record(s) from {args.from_store}",
+            )
+        )
+        return 0
 
     if args.paper_defaults:
         cfg = ExperimentConfig.paper_default(
@@ -303,7 +383,9 @@ def _cmd_trace_report(args) -> int:
         )
     data = load_benchmark(cfg.dataset, scale=cfg.data_scale, seed=cfg.seed)
     recorder = InMemoryRecorder()
-    result = run_experiment(cfg, dataset=data, recorder=recorder)
+    result = run_experiment(
+        cfg, dataset=data, recorder=recorder, probe_every=args.probe_every
+    )
     snapshot = result.trace
     print(result.summary())
     print(render_trace(snapshot, title=f"trace: {cfg.label()} on {cfg.dataset}"))
@@ -350,6 +432,61 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .obs import merge_snapshots, render_html_report
+    from .obs.html import forward_error_by_layer
+    from .theory.error_propagation import error_ratio
+
+    traces, corrupt = _load_traces_or_fail(args.trace)
+    if traces is None:
+        return 2
+    merged = merge_snapshots([t["snapshot"] for t in traces])
+
+    # Theorem 7.2 overlay: the analytical bound is computed here (obs
+    # never imports theory) for exactly the layers the probes measured.
+    theory_bound = None
+    theory_label = None
+    if not args.no_theory:
+        layers = [k for k, _ in forward_error_by_layer(merged)]
+        if layers:
+            theory_bound = [(k, error_ratio(args.theory_c, k)) for k in layers]
+            theory_label = f"Theorem 7.2 bound at c = {args.theory_c:g}"
+
+    title = args.title or f"repro run report: {Path(args.trace).name}"
+    html = render_html_report(
+        traces,
+        title=title,
+        merged=merged,
+        theory_bound=theory_bound,
+        theory_label=theory_label,
+        corrupt=corrupt,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html, encoding="utf-8")
+    print(f"report written to {out} ({len(traces)} trace record(s))")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from pathlib import Path
+
+    from .obs import monitor_sink
+
+    if not args.follow and not Path(args.sink).exists():
+        print(f"error: sink file not found: {args.sink}", file=sys.stderr)
+        return 2
+    try:
+        count = monitor_sink(args.sink, follow=args.follow, poll=args.poll)
+    except KeyboardInterrupt:
+        return 0
+    if not args.follow:
+        print(f"({count} record(s) in {args.sink})")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from .harness.executor import ExperimentExecutor
     from .harness.sweeps import Sweep
@@ -389,16 +526,23 @@ def _cmd_sweep(args) -> int:
 
     from .harness.executor import (
         CheckpointedExperimentTask,
+        TracedExperimentTask,
         run_experiment_task,
-        run_experiment_traced,
     )
 
+    if args.probe_every is not None and not args.trace:
+        print("error: --probe-every requires --trace (probes only do "
+              "work with a recorder attached)", file=sys.stderr)
+        return 2
     if args.checkpoint_dir:
         task_fn = CheckpointedExperimentTask(
-            args.checkpoint_dir, every=args.checkpoint_every, traced=args.trace
+            args.checkpoint_dir, every=args.checkpoint_every,
+            traced=args.trace, probe_every=args.probe_every,
         )
+    elif args.trace:
+        task_fn = TracedExperimentTask(probe_every=args.probe_every)
     else:
-        task_fn = run_experiment_traced if args.trace else run_experiment_task
+        task_fn = run_experiment_task
     executor = ExperimentExecutor(
         max_workers=args.workers,
         timeout=args.timeout,
@@ -515,6 +659,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "lsh-bench": _cmd_lsh_bench,
         "trace-report": _cmd_trace_report,
+        "report": _cmd_report,
+        "monitor": _cmd_monitor,
     }
     return handlers[args.command](args)
 

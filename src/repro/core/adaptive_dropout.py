@@ -147,6 +147,26 @@ class AdaptiveDropoutTrainer(Trainer):
                 self.obs.add(SAMPLER_MASK_POOL, int(mask.size))
         return loss
 
+    def probe_approx_forward(self, x, rng):
+        """Training-style standout forward with probe-RNG mask draws.
+
+        Computes the full pre-activations (standout's defining cost),
+        samples the π-masks from the caller's ``rng``, and leaves the
+        trainer's own mask stream untouched.
+        """
+        a = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        act = self.net.hidden_activation
+        outs = []
+        for i in range(len(layers) - 1):
+            z = layers[i].forward(a)
+            pi = self.keep_probabilities(z)
+            mask = (rng.random(z.shape) < pi).astype(float)
+            a = act.forward(z) * mask
+            outs.append(a)
+        outs.append(layers[-1].forward(a))
+        return outs
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Deterministic forward using expected masks π instead of samples."""
         a = np.atleast_2d(np.asarray(x, dtype=float))

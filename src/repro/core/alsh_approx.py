@@ -179,6 +179,58 @@ class ALSHApproxTrainer(Trainer):
             self.obs.add(LSH_ACTIVE_POOL, int(layer.n_out))
         return candidates
 
+    def _probe_select_active(
+        self, layer_idx: int, a_prev: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Read-only twin of :meth:`_select_active` for quality probes.
+
+        Same query-and-clamp logic, but the clamping randomness comes
+        from the caller's ``rng`` (the probe stream, never
+        ``self.rng``), the lookup goes through the counters-off
+        ``record=False`` path, and no diagnostics are updated — so a
+        probe never perturbs training.
+        """
+        layer = self.net.layers[layer_idx]
+        candidates = self.indexes[layer_idx].query(a_prev, record=False)
+        lo, hi = self._bounds(layer.n_out)
+        if candidates.size > hi:
+            candidates = rng.choice(candidates, size=hi, replace=False)
+            candidates.sort()
+        elif candidates.size < lo:
+            pool = np.setdiff1d(
+                np.arange(layer.n_out), candidates, assume_unique=False
+            )
+            extra = rng.choice(pool, size=lo - candidates.size, replace=False)
+            candidates = np.union1d(candidates, extra)
+        return candidates
+
+    def probe_approx_forward(self, x, rng):
+        """Per-sample ALSH forward (training's selection rule), read-only.
+
+        Layout matches :meth:`Trainer.probe_exact_forward`; unlike
+        :meth:`predict` it mutates neither the active-fraction
+        diagnostics nor the LSH work counters.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        act = self.net.hidden_activation
+        hidden = [
+            np.zeros((x.shape[0], layers[i].n_out))
+            for i in range(self.n_hidden)
+        ]
+        logits = np.zeros((x.shape[0], layers[-1].n_out))
+        for s in range(x.shape[0]):
+            a_prev = x[s]
+            for i in range(self.n_hidden):
+                cand = self._probe_select_active(i, a_prev, rng)
+                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                a_full = np.zeros(layers[i].n_out)
+                a_full[cand] = act.forward(z_c)
+                hidden[i][s] = a_full
+                a_prev = a_full
+            logits[s] = a_prev @ layers[-1].W + layers[-1].b
+        return hidden + [logits]
+
     def average_active_fraction(self) -> np.ndarray:
         """Mean active fraction per hidden layer since construction."""
         if self._active_count == 0:

@@ -40,6 +40,12 @@ from ..obs.counters import (
     TRAIN_SAMPLES,
     gemm_flops,
 )
+from ..obs.probes import ProbeManager
+from ..obs.timeseries import (
+    SERIES_EPOCH_LOSS,
+    SERIES_EPOCH_TIME,
+    SERIES_VAL_ACCURACY,
+)
 
 __all__ = ["EpochStats", "History", "Trainer"]
 
@@ -147,8 +153,56 @@ class Trainer:
         self.loss_fn = NLLLoss()
         self.rng = np.random.default_rng(seed)
         self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
+        self._probes: Optional[ProbeManager] = None
         self._t_fwd = 0.0
         self._t_bwd = 0.0
+
+    # ------------------------------------------------------------------
+    # quality probes (read-only; see repro.obs.probes)
+    # ------------------------------------------------------------------
+    def attach_probes(self, manager: ProbeManager) -> None:
+        """Attach a probe manager; :meth:`fit` calls it after each batch.
+
+        Probes are strictly read-only: they use the manager's private
+        RNG stream, never the trainer's, so training with probes
+        attached stays bitwise identical to an unprobed run
+        (``tests/obs/test_noop.py``).  With the null recorder the
+        per-batch hook is a single counter increment.
+        """
+        self._probes = manager
+
+    def probe_exact_forward(self, x: np.ndarray) -> List[np.ndarray]:
+        """Per-layer outputs of the *exact* forward pass (read-only).
+
+        Returns ``[a^1, …, a^{L-1}, z^L]`` — hidden activations for
+        every hidden layer and raw logits for the output layer (probes
+        compare pre-log-softmax values so an all-zero approximate layer
+        cannot produce infinities).
+        """
+        a = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        act = self.net.hidden_activation
+        outs: List[np.ndarray] = []
+        for i, layer in enumerate(layers):
+            z = layer.forward(a)
+            if i < len(layers) - 1:
+                a = act.forward(z)
+                outs.append(a)
+            else:
+                outs.append(z)
+        return outs
+
+    def probe_approx_forward(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        """Per-layer outputs under this method's *approximate* forward.
+
+        Layout matches :meth:`probe_exact_forward`.  All sampling draws
+        from the caller-supplied ``rng`` (the probe stream) and no
+        trainer state is mutated.  The base implementation is exact;
+        sampling trainers override it.
+        """
+        return self.probe_exact_forward(x)
 
     # ------------------------------------------------------------------
     # phase timing helpers
@@ -272,6 +326,16 @@ class Trainer:
             "history": history.to_dict(),
             "aux": aux_meta,
         }
+        # Observability carry: recorded series and the probe manager's
+        # mutable state ride along so a killed-and-resumed run (same
+        # recorder/probe configuration) reproduces the identical series.
+        obs_payload: dict = {}
+        if self.obs.enabled and hasattr(self.obs, "series_snapshot"):
+            obs_payload["series"] = self.obs.series_snapshot()
+        if self._probes is not None:
+            obs_payload["probes"] = self._probes.state_dict()
+        if obs_payload:
+            payload["obs"] = obs_payload
         return TrainerCheckpoint(
             method=self.name,
             epoch=epoch,
@@ -324,6 +388,15 @@ class Trainer:
             if name.startswith(prefix)
         }
         self.restore_checkpoint_state(payload.get("aux", {}), aux_arrays)
+        obs_payload = payload.get("obs", {})
+        if (
+            self.obs.enabled
+            and hasattr(self.obs, "load_series")
+            and "series" in obs_payload
+        ):
+            self.obs.load_series(obs_payload["series"])
+        if self._probes is not None and "probes" in obs_payload:
+            self._probes.load_state_dict(obs_payload["probes"])
         es = payload["early_stopping"]
         return int(ckpt.epoch), float(es["best_val"]), int(es["epochs_since_best"])
 
@@ -433,8 +506,13 @@ class Trainer:
                 start = time.perf_counter()
                 losses = []
                 with self.obs.span("epoch"):
-                    for xb, yb in loader:
-                        losses.append(self.train_batch(xb, yb))
+                    if self._probes is None:
+                        for xb, yb in loader:
+                            losses.append(self.train_batch(xb, yb))
+                    else:
+                        for xb, yb in loader:
+                            losses.append(self.train_batch(xb, yb))
+                            self._probes.on_batch(self, xb, yb)
                 elapsed = time.perf_counter() - start
                 self.obs.add(TRAIN_EPOCHS)
                 if self.obs.enabled:
@@ -453,6 +531,11 @@ class Trainer:
                     val_accuracy=val_acc,
                 )
                 history.epochs.append(stats)
+                if self.obs.enabled:
+                    self.obs.series(SERIES_EPOCH_LOSS, epoch, stats.loss)
+                    self.obs.series(SERIES_EPOCH_TIME, epoch, elapsed)
+                    if val_acc is not None:
+                        self.obs.series(SERIES_VAL_ACCURACY, epoch, val_acc)
                 if verbose:
                     acc_str = (
                         "" if val_acc is None else f", val_acc={val_acc:.4f}"

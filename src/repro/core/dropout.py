@@ -133,6 +133,34 @@ class DropoutTrainer(Trainer):
         return loss
 
     # ------------------------------------------------------------------
+    def probe_approx_forward(self, x, rng):
+        """Training-style masked forward drawn from the probe RNG.
+
+        Mirrors one :meth:`train_batch` forward (shared mask per hidden
+        layer, no inference-time rescaling) but samples the kept sets
+        from the caller's ``rng`` so probing never advances the
+        trainer's own mask stream.
+        """
+        a = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        act = self.net.hidden_activation
+        outs = []
+        for i in range(len(layers) - 1):
+            layer = layers[i]
+            keep = np.nonzero(rng.random(layer.n_out) < self.keep_prob)[0]
+            if keep.size < self.min_active:
+                extra = rng.choice(
+                    layer.n_out, size=self.min_active, replace=False
+                )
+                keep = np.union1d(keep, extra)
+            z_cols = layer.forward_columns(a, keep)
+            a_full = np.zeros((a.shape[0], layer.n_out))
+            a_full[:, keep] = act.forward(z_cols)
+            outs.append(a_full)
+            a = a_full
+        outs.append(layers[-1].forward(a))
+        return outs
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Exact forward with hidden activations scaled by keep_prob."""
         a = np.atleast_2d(np.asarray(x, dtype=float))

@@ -29,7 +29,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..approx.bernoulli import bernoulli_probabilities, bernoulli_sample
+from ..approx.bernoulli import (
+    bernoulli_multiply,
+    bernoulli_probabilities,
+    bernoulli_sample,
+)
 from ..nn.losses import NLLLoss
 from ..nn.network import MLP
 from ..obs import Recorder
@@ -123,6 +127,34 @@ class MCApproxTrainer(Trainer):
     def _node_budget(self, inner: int) -> int:
         budget = max(self.min_node_samples, int(round(self.node_frac * inner)))
         return min(inner, budget)
+
+    def probe_approx_forward(self, x, rng):
+        """Forward under this configuration's approximation, read-only.
+
+        The published method keeps the feedforward pass exact (§10.1),
+        so by default this equals the exact forward and the probe
+        measures zero drift — the MC estimator probe covers the
+        backward-product quality instead.  With
+        ``approximate_forward=True`` the hidden products are
+        Bernoulli-sampled from the caller's ``rng`` (never
+        ``self.rng``), with no counters recorded.
+        """
+        if not self.approximate_forward:
+            return self.probe_exact_forward(x)
+        a = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        act = self.net.hidden_activation
+        outs = []
+        for i, layer in enumerate(layers):
+            if i < len(layers) - 1:
+                z = bernoulli_multiply(
+                    a, layer.W, self._node_budget(layer.n_in), rng
+                ) + layer.b
+                a = act.forward(z)
+                outs.append(a)
+            else:
+                outs.append(layer.forward(a))
+        return outs
 
     # ------------------------------------------------------------------
     # training

@@ -36,3 +36,12 @@ class StandardTrainer(Trainer):
             [layer.n_out for layer in self.net.layers],
         )
         return loss
+
+    def probe_approx_forward(self, x, rng):
+        """STANDARD computes exactly — the probe measures zero drift.
+
+        Kept explicit (rather than inheriting the base default) so the
+        forward-error probe's zero baseline is a documented property of
+        the method, not an accident of inheritance.
+        """
+        return self.probe_exact_forward(x)

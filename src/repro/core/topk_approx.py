@@ -128,6 +128,36 @@ class TopKApproxTrainer(Trainer):
         return loss
 
     # ------------------------------------------------------------------
+    # quality probes
+    # ------------------------------------------------------------------
+    def probe_approx_forward(self, x, rng):
+        """Oracle-sampled forward; deterministic, so ``rng`` is unused.
+
+        The exact-MIPS selector has no randomness — the forward-error
+        probe on TOPK measures the pure sampling-from-the-current-layer
+        drift Theorem 7.2 bounds, with selector noise excluded.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        layers = self.net.layers
+        act = self.net.hidden_activation
+        hidden = [
+            np.zeros((x.shape[0], layers[i].n_out))
+            for i in range(self.n_hidden)
+        ]
+        logits = np.zeros((x.shape[0], layers[-1].n_out))
+        for s in range(x.shape[0]):
+            a_prev = x[s]
+            for i in range(self.n_hidden):
+                cand = self._select_active(i, a_prev)
+                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                a_full = np.zeros(layers[i].n_out)
+                a_full[cand] = act.forward(z_c)
+                hidden[i][s] = a_full
+                a_prev = a_full
+            logits[s] = a_prev @ layers[-1].W + layers[-1].b
+        return hidden + [logits]
+
+    # ------------------------------------------------------------------
     # inference — sampled, like training (matching ALSH semantics)
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -58,6 +58,7 @@ __all__ = [
     "task_key",
     "run_experiment_task",
     "run_experiment_traced",
+    "TracedExperimentTask",
     "aggregate_traces",
 ]
 
@@ -96,15 +97,34 @@ def run_experiment_task(config: ExperimentConfig, dataset: Optional[Dataset]):
     return run_experiment(config, dataset=dataset)
 
 
-def run_experiment_traced(config: ExperimentConfig, dataset: Optional[Dataset]):
-    """Task function that traces the run with a worker-local recorder.
+class TracedExperimentTask:
+    """Picklable task function that traces every run it executes.
 
     Each worker process gets its own :class:`~repro.obs.InMemoryRecorder`,
     so no cross-process synchronisation is needed; the snapshot rides back
     to the parent inside ``ExperimentResult.trace`` (and therefore through
     the JSONL sink), where :func:`aggregate_traces` can merge the sweep.
+    ``probe_every`` additionally attaches the default quality probes at
+    that batch cadence (see :func:`repro.harness.experiment.run_experiment`).
     """
-    return run_experiment(config, dataset=dataset, recorder=InMemoryRecorder())
+
+    def __init__(self, probe_every: Optional[int] = None):
+        if probe_every is not None and probe_every < 1:
+            raise ValueError(f"probe_every must be >= 1, got {probe_every}")
+        self.probe_every = probe_every
+
+    def __call__(self, config: ExperimentConfig, dataset: Optional[Dataset]):
+        return run_experiment(
+            config,
+            dataset=dataset,
+            recorder=InMemoryRecorder(),
+            probe_every=self.probe_every,
+        )
+
+
+def run_experiment_traced(config: ExperimentConfig, dataset: Optional[Dataset]):
+    """Module-level traced task function (no probes) — kept picklable."""
+    return TracedExperimentTask()(config, dataset)
 
 
 class CheckpointedExperimentTask:
@@ -124,12 +144,16 @@ class CheckpointedExperimentTask:
         directory: Union[str, Path],
         every: int = 1,
         traced: bool = False,
+        probe_every: Optional[int] = None,
     ):
         if every <= 0:
             raise ValueError(f"every must be positive, got {every}")
+        if probe_every is not None and probe_every < 1:
+            raise ValueError(f"probe_every must be >= 1, got {probe_every}")
         self.directory = str(directory)
         self.every = int(every)
         self.traced = bool(traced)
+        self.probe_every = probe_every
 
     def __call__(self, config: ExperimentConfig, dataset: Optional[Dataset]):
         recorder = InMemoryRecorder() if self.traced else None
@@ -139,6 +163,7 @@ class CheckpointedExperimentTask:
             recorder=recorder,
             checkpoint_every=self.every,
             checkpoint_dir=self.directory,
+            probe_every=self.probe_every if self.traced else None,
         )
 
 

@@ -80,6 +80,7 @@ def run_experiment(
     recorder: Optional[Recorder] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
+    probe_every: Optional[int] = None,
 ) -> ExperimentResult:
     """Train per the config and evaluate on the test split.
 
@@ -91,6 +92,13 @@ def run_experiment(
     the trainer; its snapshot is attached to the result as ``trace``.
     Without one, training runs with the no-op recorder and ``trace`` is
     None.
+
+    ``probe_every`` attaches the default quality probes
+    (:mod:`repro.obs.probes`) at that batch cadence.  Probes are
+    read-only — they never change what is trained — and only do work
+    when the recorder is enabled.  Their RNG stream is derived from the
+    config seed, so probe series are reproducible and survive
+    checkpoint/resume.
 
     ``checkpoint_dir`` enables crash-safe training (see
     :meth:`repro.core.base.Trainer.fit`): the trainer state is written
@@ -112,6 +120,17 @@ def run_experiment(
         recorder=recorder,
         **config.method_kwargs,
     )
+    if probe_every is not None:
+        from ..obs.probes import ProbeManager, default_probes
+
+        probe_seed = np.random.SeedSequence(
+            [config.seed if config.seed is not None else 0, 0x0B5]
+        )
+        trainer.attach_probes(
+            ProbeManager(
+                default_probes(), probe_every=probe_every, seed=probe_seed
+            )
+        )
     start = time.perf_counter()
     history = trainer.fit(
         dataset.x_train,

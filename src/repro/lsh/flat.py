@@ -401,6 +401,20 @@ class FlatHashTables:
             loads.append(counts[counts > 0])
         return loads
 
+    def garbage_fraction(self) -> float:
+        """Fraction of stored entries that are tombstones or extras.
+
+        Stale CSR members plus appended extras, over all entries the
+        query path has to scan.  Rises between compactions and drops to
+        0 when :meth:`_compact` fires; the obs probes surface it as a
+        backend-health gauge.
+        """
+        scanned = sum(m.size for m in self._members) + sum(self._extra_len)
+        if scanned == 0:
+            return 0.0
+        garbage = sum(self._stale) + sum(self._extra_len)
+        return float(garbage) / float(scanned)
+
     def memory_bytes(self) -> int:
         """Hash-function tables plus all bucket-storage arrays."""
         total = sum(fn.nbytes for fn in self.fns) + self.item_gcode.nbytes

@@ -125,15 +125,25 @@ class MIPSIndex:
         self.index.update(ids, transformed)
         self._n_items = max(self._n_items, int(ids.max()) + 1)
 
-    def query(self, query: np.ndarray) -> np.ndarray:
-        """Candidate item ids colliding with the query (sorted, unique)."""
-        q = self.transform.transform_query_one(np.asarray(query, dtype=float))
-        return self.index.query(q)
+    def query(self, query: np.ndarray, record: bool = True) -> np.ndarray:
+        """Candidate item ids colliding with the query (sorted, unique).
 
-    def query_batch(self, queries: np.ndarray) -> List[np.ndarray]:
+        ``record=False`` suppresses the query/candidate counters (the
+        read-only probe path — probe lookups must not count as work).
+        """
+        q = self.transform.transform_query_one(np.asarray(query, dtype=float))
+        return self.index.query(q, record=record)
+
+    def query_batch(
+        self, queries: np.ndarray, record: bool = True
+    ) -> List[np.ndarray]:
         """Candidate sets for a batch of queries."""
         q = self.transform.transform_query(np.asarray(queries, dtype=float))
-        return self.index.query_batch(q)
+        return self.index.query_batch(q, record=record)
+
+    def garbage_fraction(self) -> float:
+        """Backend-health stat of the underlying tables (see LSHIndex)."""
+        return self.index.garbage_fraction()
 
     # ------------------------------------------------------------------
     # checkpoint support

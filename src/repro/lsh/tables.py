@@ -215,8 +215,13 @@ class LSHIndex:
         for table in self.tables:
             table.insert(ids, vectors)
 
-    def query(self, vector: np.ndarray) -> np.ndarray:
-        """Union of colliding ids across all L tables, sorted."""
+    def query(self, vector: np.ndarray, record: bool = True) -> np.ndarray:
+        """Union of colliding ids across all L tables, sorted.
+
+        ``record=False`` skips the query/candidate counters — used by
+        read-only quality probes so measuring recall does not inflate
+        the work counters the probe sits beside.
+        """
         if self.flat is not None:
             result = self.flat.query(vector)
         else:
@@ -224,12 +229,15 @@ class LSHIndex:
             for table in self.tables:
                 hits |= table.query(vector)
             result = np.fromiter(sorted(hits), dtype=np.int64, count=len(hits))
-        self.obs.add(LSH_QUERIES)
-        if self.obs.enabled:
-            self.obs.add(LSH_CANDIDATES, int(result.size))
+        if record:
+            self.obs.add(LSH_QUERIES)
+            if self.obs.enabled:
+                self.obs.add(LSH_CANDIDATES, int(result.size))
         return result
 
-    def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:
+    def query_batch(
+        self, vectors: np.ndarray, record: bool = True
+    ) -> List[np.ndarray]:
         """Per-query candidate sets for a batch."""
         vectors = np.atleast_2d(vectors)
         if self.flat is not None:
@@ -244,7 +252,7 @@ class LSHIndex:
                 results.append(
                     np.fromiter(sorted(hits), dtype=np.int64, count=len(hits))
                 )
-        if self.obs.enabled:
+        if record and self.obs.enabled:
             self.obs.add(LSH_QUERIES, len(results))
             self.obs.add(LSH_CANDIDATES, int(sum(r.size for r in results)))
         return results
@@ -290,6 +298,18 @@ class LSHIndex:
             )
             for table in self.tables
         ]
+
+    def garbage_fraction(self) -> float:
+        """Fraction of stored entries that are maintenance garbage.
+
+        The flat backend accumulates tombstones and appended extras
+        between compactions (see :mod:`repro.lsh.flat`); the dict
+        backend moves items in place, so its garbage is always 0.  A
+        health gauge for the quality probes, backend-independent.
+        """
+        if self.flat is not None:
+            return self.flat.garbage_fraction()
+        return 0.0
 
     def memory_bytes(self) -> int:
         """Rough memory footprint: hyperplanes plus bucket entries.

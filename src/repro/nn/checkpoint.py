@@ -26,6 +26,15 @@ accuracies and test predictions.  Everything that can influence a
 floating-point operation after epoch *k* is captured exactly; wall-clock
 timings are the only fields allowed to differ.
 
+The same carry covers observability: when the trainer records through
+an enabled recorder, the ``payload["obs"]`` section holds the recorded
+time series (:mod:`repro.obs.timeseries`) and, when quality probes are
+attached, the probe manager's step counter, disabled set and private
+RNG stream — so a killed-and-resumed run reproduces the *identical*
+metric series, index-for-index (wall-clock series like
+``train.epoch_time`` excepted).  Checkpoints from before this section
+restore fine; the field is simply absent.
+
 The scalar/structured portion travels as one JSON blob (Python's JSON
 round-trips floats and arbitrary-precision ints exactly, which covers
 PCG64 bit-generator states); arrays travel as native ``.npz`` members,

@@ -23,13 +23,26 @@ perturbing the thing being measured:
   aggregation: executor workers attach their snapshot to each
   :class:`~repro.harness.experiment.ExperimentResult` and the parent
   merges them into one sweep-level rollup.
+* :mod:`~repro.obs.timeseries` — epoch/batch-indexed metric series
+  (loss curves, probe error trajectories) riding the same snapshot,
+  merge and checkpoint machinery as counters.
+* :mod:`~repro.obs.probes` — cadence-bounded quality probes (forward
+  error vs the exact pass, LSH recall vs brute-force MIPS, MC
+  estimator moments), strictly read-only with a private RNG stream.
+* :mod:`~repro.obs.html` / :mod:`~repro.obs.monitor` — the reporting
+  surface: self-contained HTML run reports and live sink tailing.
 
-This package is dependency-free (stdlib only) and must never import from
-the rest of ``repro`` — everything else imports *it*.
+The package core is dependency-free (stdlib only) and must never import
+from the rest of ``repro`` — everything else imports *it*.  The one
+sanctioned exception is :mod:`~repro.obs.probes`, the measurement
+boundary: it uses numpy, duck-types trainers, and defers its single
+``repro.approx`` import to probe-run time.  To preserve the stdlib-only
+core, ``repro.obs`` itself does not import it — attach probes via
+``from repro.obs.probes import ProbeManager, default_probes``.
 """
 
 from . import counters
-from .counters import COUNTER_CATALOG, gemm_flops
+from .counters import COUNTER_CATALOG, GAUGE_CATALOG, gemm_flops
 from .recorder import (
     NULL_RECORDER,
     InMemoryRecorder,
@@ -37,15 +50,36 @@ from .recorder import (
     Recorder,
     merge_snapshots,
 )
-from .report import derived_metrics, render_counters, render_spans, render_trace
+from .html import render_html_report
+from .monitor import follow_jsonl, monitor_sink, summarize_record
+from .report import (
+    derived_metrics,
+    probe_overhead,
+    render_counters,
+    render_series,
+    render_spans,
+    render_trace,
+)
 from .sink import (
     AGGREGATE_KIND,
     TRACE_KIND,
+    load_trace_file,
     read_traces,
+    scan_jsonl,
     trace_record,
     write_trace,
 )
 from .spans import Span
+from .timeseries import (
+    SERIES_CATALOG,
+    SERIES_PREFIXES,
+    SeriesStore,
+    is_catalogued_series,
+    layer_series,
+    merge_series,
+    series_points,
+    split_layer_series,
+)
 
 __all__ = [
     "TRACE_KIND",
@@ -58,12 +92,29 @@ __all__ = [
     "Span",
     "counters",
     "COUNTER_CATALOG",
+    "GAUGE_CATALOG",
     "gemm_flops",
     "trace_record",
     "write_trace",
     "read_traces",
+    "scan_jsonl",
+    "load_trace_file",
     "render_trace",
     "render_counters",
     "render_spans",
+    "render_series",
     "derived_metrics",
+    "probe_overhead",
+    "render_html_report",
+    "follow_jsonl",
+    "monitor_sink",
+    "summarize_record",
+    "SERIES_CATALOG",
+    "SERIES_PREFIXES",
+    "SeriesStore",
+    "is_catalogued_series",
+    "layer_series",
+    "merge_series",
+    "series_points",
+    "split_layer_series",
 ]

@@ -47,6 +47,12 @@ __all__ = [
     "GAUGE_CATALOG",
     "LSH_BUCKET_MAX_LOAD",
     "LSH_BUCKETS_OCCUPIED",
+    "LSH_GARBAGE_FRAC",
+    # probes
+    "PROBE_RUNS",
+    "PROBE_SKIPPED",
+    "PROBE_DISABLED",
+    "PROBE_POINTS",
     # samplers
     "SAMPLER_COLS_KEPT",
     "SAMPLER_COLS_POOL",
@@ -77,6 +83,11 @@ LSH_REHASHED_COLUMNS = "lsh.rehashed_columns"
 LSH_ACTIVE_NODES = "lsh.active_nodes"
 LSH_ACTIVE_POOL = "lsh.active_pool"
 
+PROBE_RUNS = "probe.runs"
+PROBE_SKIPPED = "probe.skipped"
+PROBE_DISABLED = "probe.budget_disabled"
+PROBE_POINTS = "probe.points"
+
 SAMPLER_COLS_KEPT = "sampler.cols_kept"
 SAMPLER_COLS_POOL = "sampler.cols_pool"
 SAMPLER_ROWS_KEPT = "sampler.rows_kept"
@@ -103,6 +114,10 @@ COUNTER_CATALOG: Dict[str, str] = {
     LSH_REHASHED_COLUMNS: "weight columns re-hashed at those refreshes",
     LSH_ACTIVE_NODES: "active nodes selected after candidate clamping",
     LSH_ACTIVE_POOL: "nodes that were eligible (layer widths summed)",
+    PROBE_RUNS: "probe invocations executed (per probe, across the run)",
+    PROBE_SKIPPED: "probe invocations skipped (probe did not apply to the trainer)",
+    PROBE_DISABLED: "probes disabled after exceeding their wall-clock budget",
+    PROBE_POINTS: "time-series points recorded by probes",
     SAMPLER_COLS_KEPT: "weight columns kept by column samplers",
     SAMPLER_COLS_POOL: "columns that were eligible",
     SAMPLER_ROWS_KEPT: "inner-dimension indices kept by MC samplers",
@@ -113,11 +128,13 @@ COUNTER_CATALOG: Dict[str, str] = {
 
 LSH_BUCKET_MAX_LOAD = "lsh.bucket_max_load"
 LSH_BUCKETS_OCCUPIED = "lsh.buckets_occupied"
+LSH_GARBAGE_FRAC = "lsh.garbage_frac"
 
 #: gauges (last-value metrics); merged across processes by max.
 GAUGE_CATALOG: Dict[str, str] = {
     LSH_BUCKET_MAX_LOAD: "largest bucket occupancy seen at build time",
     LSH_BUCKETS_OCCUPIED: "occupied buckets across all tables at build",
+    LSH_GARBAGE_FRAC: "tombstone/extras fraction of the flat LSH backend at last probe",
 }
 
 

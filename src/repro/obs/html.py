@@ -1,0 +1,402 @@
+"""Self-contained single-file HTML run reports.
+
+``python -m repro report`` renders a trace/sweep JSONL into one HTML
+file with zero external assets: span tree, counter rollup with derived
+ratios, per-series sparklines, the theory-vs-measured forward-error
+overlay, and probe overhead accounting.  Everything is inline SVG +
+CSS custom properties (light and dark via ``prefers-color-scheme``),
+so the file can be mailed around or attached to CI as an artifact.
+
+Stdlib only, like the rest of the package core.  The Theorem 7.2
+analytical bound is *data* here — the CLI computes it via
+``repro.theory.error_propagation.error_ratio`` and passes the points
+in; obs never imports theory.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .counters import COUNTER_CATALOG, GAUGE_CATALOG
+from .report import derived_metrics, probe_overhead
+from .timeseries import (
+    SERIES_CATALOG,
+    SERIES_FWD_REL_ERROR,
+    SERIES_PREFIXES,
+    series_points,
+    split_layer_series,
+)
+
+__all__ = ["render_html_report", "forward_error_by_layer"]
+
+# Palette: light/dark token pairs.  Series colors carry identity in the
+# marks only; all text wears the ink tokens.
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --s1: #3987e5; --s2: #d95926; --s3: #1baf7a;
+  }
+}
+:root[data-theme="light"] {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+}
+:root[data-theme="dark"] {
+  --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+  --grid: #2c2c2a; --baseline: #383835;
+  --s1: #3987e5; --s2: #d95926; --s3: #1baf7a;
+}
+body {
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  max-width: 960px; margin: 2rem auto; padding: 0 1rem;
+}
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+h3 { font-size: 1rem; color: var(--ink-2); }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 2px 12px 2px 0; vertical-align: middle; }
+th { color: var(--ink-2); font-weight: 600;
+     border-bottom: 1px solid var(--baseline); }
+td.num { font-variant-numeric: tabular-nums; }
+.desc { color: var(--ink-3); }
+.muted { color: var(--ink-3); }
+pre.spans { color: var(--ink-2); line-height: 1.4; }
+.legend { display: flex; gap: 1.25rem; margin: 0.25rem 0; color: var(--ink-2); }
+.legend .swatch { display: inline-block; width: 14px; height: 3px;
+                  vertical-align: middle; margin-right: 6px; }
+svg text { fill: var(--ink-2); font: 11px system-ui, sans-serif; }
+"""
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not float(value).is_integer():
+        return f"{value:.4g}"
+    return f"{int(value):,}"
+
+
+def _scale(
+    values: Sequence[float], lo: float, hi: float, out_lo: float, out_hi: float
+) -> List[float]:
+    span = hi - lo
+    if span <= 0:
+        return [(out_lo + out_hi) / 2.0 for _ in values]
+    k = (out_hi - out_lo) / span
+    return [out_lo + (v - lo) * k for v in values]
+
+
+def _sparkline(indices: Sequence[int], values: Sequence[float]) -> str:
+    """Inline 140x30 sparkline for one series (2px line, no axes)."""
+    w, h, pad = 140, 30, 3
+    if len(values) == 1:
+        xs, ys = [w / 2.0], [h / 2.0]
+    else:
+        xs = _scale(list(indices), min(indices), max(indices), pad, w - pad)
+        ys = _scale(values, min(values), max(values), h - pad, pad)
+    pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    mark = (
+        f'<circle cx="{xs[-1]:.1f}" cy="{ys[-1]:.1f}" r="2.5" '
+        'fill="var(--s1)"/>'
+    )
+    line = (
+        f'<polyline points="{pts}" fill="none" stroke="var(--s1)" '
+        'stroke-width="2" stroke-linejoin="round"/>'
+        if len(values) > 1
+        else ""
+    )
+    return (
+        f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}" '
+        f'role="img" aria-label="sparkline">{line}{mark}</svg>'
+    )
+
+
+def forward_error_by_layer(snapshot: dict) -> List[Tuple[int, float]]:
+    """Mean measured relative forward error per layer, from the probe
+    series — the measured side of the Theorem 7.2 overlay.
+
+    Returns ``[(layer_k, mean_rel_error), ...]`` sorted by layer.
+    """
+    by_layer: Dict[int, List[float]] = {}
+    for name in snapshot.get("series", {}):
+        parts = split_layer_series(name)
+        if parts is None or parts[0] != SERIES_FWD_REL_ERROR:
+            continue
+        _, values = series_points(snapshot, name)
+        if values:
+            by_layer[parts[1]] = list(values)
+    return [
+        (k, sum(v) / len(v)) for k, v in sorted(by_layer.items())
+    ]
+
+
+def _overlay_chart(
+    measured: Sequence[Tuple[int, float]],
+    bound: Optional[Sequence[Tuple[int, float]]],
+) -> str:
+    """Measured per-layer error (series-1) vs analytical bound (series-2).
+
+    One y-axis, layer index on x.  Both curves share the scale; the
+    legend carries identity, point markers get native ``<title>``
+    tooltips.
+    """
+    w, h = 640, 260
+    ml, mr, mt, mb = 56, 16, 12, 34
+    all_pts = list(measured) + list(bound or [])
+    if not all_pts:
+        return '<p class="muted">(no forward-error probe data)</p>'
+    ks = sorted({k for k, _ in all_pts})
+    vals = [v for _, v in all_pts]
+    v_lo, v_hi = 0.0, max(max(vals), 1e-12)
+    v_hi *= 1.05
+
+    def x(k: float) -> float:
+        if len(ks) == 1:
+            return (ml + w - mr) / 2.0
+        return ml + (k - ks[0]) * (w - ml - mr) / (ks[-1] - ks[0])
+
+    def y(v: float) -> float:
+        return (h - mb) - (v - v_lo) * (h - mt - mb) / (v_hi - v_lo)
+
+    parts: List[str] = []
+    # gridlines + y tick labels (4 ticks)
+    for i in range(5):
+        v = v_lo + (v_hi - v_lo) * i / 4.0
+        yy = y(v)
+        stroke = "var(--baseline)" if i == 0 else "var(--grid)"
+        parts.append(
+            f'<line x1="{ml}" y1="{yy:.1f}" x2="{w - mr}" y2="{yy:.1f}" '
+            f'stroke="{stroke}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{ml - 6}" y="{yy + 4:.1f}" '
+            f'text-anchor="end">{v:.3g}</text>'
+        )
+    for k in ks:
+        parts.append(
+            f'<text x="{x(k):.1f}" y="{h - mb + 16}" '
+            f'text-anchor="middle">{k}</text>'
+        )
+    parts.append(
+        f'<text x="{(ml + w - mr) / 2:.0f}" y="{h - 4}" '
+        'text-anchor="middle">layer</text>'
+    )
+
+    def curve(points, color, label):
+        if not points:
+            return
+        pts = " ".join(f"{x(k):.1f},{y(v):.1f}" for k, v in points)
+        if len(points) > 1:
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for k, v in points:
+            parts.append(
+                f'<circle cx="{x(k):.1f}" cy="{y(v):.1f}" r="4" '
+                f'fill="{color}" stroke="var(--surface)" stroke-width="2">'
+                f"<title>{escape(label)} · layer {k}: {v:.4g}</title>"
+                "</circle>"
+            )
+
+    curve(measured, "var(--s1)", "measured")
+    if bound:
+        curve(bound, "var(--s2)", "Theorem 7.2 bound")
+    svg = (
+        f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}" role="img" '
+        f'aria-label="per-layer forward error">{"".join(parts)}</svg>'
+    )
+    legend = (
+        '<div class="legend">'
+        '<span><span class="swatch" style="background:var(--s1)"></span>'
+        "measured mean rel. error</span>"
+    )
+    if bound:
+        legend += (
+            '<span><span class="swatch" style="background:var(--s2)"></span>'
+            "Theorem 7.2 bound ((c+1)/c)^k − 1</span>"
+        )
+    legend += "</div>"
+    return legend + svg
+
+
+def _counters_table(snapshot: dict) -> str:
+    counters = dict(snapshot.get("counters", {}))
+    counters.update(derived_metrics(snapshot))
+    gauges = snapshot.get("gauges", {})
+    if not counters and not gauges:
+        return '<p class="muted">(no counters recorded)</p>'
+    rows = []
+    for name in sorted(counters):
+        desc = COUNTER_CATALOG.get(name, "")
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f'<td class="num">{_fmt(counters[name])}</td>'
+            f'<td class="desc">{escape(desc)}</td></tr>'
+        )
+    for name in sorted(gauges):
+        desc = GAUGE_CATALOG.get(name, "")
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f'<td class="num">{_fmt(gauges[name])}</td>'
+            f'<td class="desc">(gauge) {escape(desc)}</td></tr>'
+        )
+    return (
+        "<table><tr><th>counter</th><th>value</th><th></th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _spans_block(snapshot: dict) -> str:
+    spans = snapshot.get("spans", {})
+    timings = snapshot.get("timings", {})
+    if not spans and not timings:
+        return '<p class="muted">(no spans recorded)</p>'
+    lines = []
+    for path in sorted(spans):
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        v = spans[path]
+        lines.append(
+            f"{'  ' * depth}{name:<{max(24 - 2 * depth, 1)}}"
+            f"  n={v['count']:<8} total={v['total']:.3f}s"
+        )
+    for name in sorted(timings):
+        v = timings[name]
+        lines.append(f"{name:<24}  n={v['count']:<8} total={v['total']:.3f}s")
+    return f'<pre class="spans">{escape(chr(10).join(lines))}</pre>'
+
+
+def _series_block(snapshot: dict) -> str:
+    series = snapshot.get("series", {})
+    if not series:
+        return '<p class="muted">(no series recorded)</p>'
+    rows = []
+    for name in sorted(series):
+        idx, values = series_points(snapshot, name)
+        if not values:
+            continue
+        desc = SERIES_CATALOG.get(name, "")
+        if not desc:
+            parts = split_layer_series(name)
+            if parts is not None:
+                desc = SERIES_PREFIXES.get(parts[0], "")
+        rows.append(
+            f"<tr><td>{escape(name)}</td><td>{_sparkline(idx, values)}</td>"
+            f'<td class="num">{len(values)}</td>'
+            f'<td class="num">{values[-1]:.4g}</td>'
+            f'<td class="desc">{escape(desc)}</td></tr>'
+        )
+    if not rows:
+        return '<p class="muted">(no series recorded)</p>'
+    return (
+        "<table><tr><th>series</th><th></th><th>points</th><th>last</th>"
+        "<th></th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+def _overhead_block(snapshot: dict) -> str:
+    acct = probe_overhead(snapshot)
+    if not acct:
+        return '<p class="muted">(no probe timings recorded)</p>'
+    rows = []
+    labels = {
+        "probe.seconds": "total probe wall-clock",
+        "fit.seconds": "total fit wall-clock",
+        "probe.overhead_frac": "probe overhead fraction",
+    }
+    for key in ("probe.seconds", "fit.seconds", "probe.overhead_frac"):
+        if key in acct:
+            val = acct[key]
+            shown = f"{val:.2%}" if key.endswith("frac") else f"{val:.3f}s"
+            rows.append(
+                f"<tr><td>{escape(labels[key])}</td>"
+                f'<td class="num">{shown}</td></tr>'
+            )
+    timings = snapshot.get("timings", {})
+    for name in sorted(t for t in timings if t.startswith("probe.")):
+        v = timings[name]
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f'<td class="num">{v["total"]:.3f}s over {v["count"]} runs</td>'
+            "</tr>"
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def render_html_report(
+    traces: Sequence[dict],
+    title: str = "repro run report",
+    merged: Optional[dict] = None,
+    theory_bound: Optional[Sequence[Tuple[int, float]]] = None,
+    theory_label: Optional[str] = None,
+    corrupt: int = 0,
+) -> str:
+    """Render trace records into one self-contained HTML document.
+
+    Parameters
+    ----------
+    traces:
+        Trace records as loaded from the JSONL sink — dicts with a
+        ``"snapshot"`` and optionally a ``"label"``.
+    merged:
+        Pre-merged snapshot for the rollup sections; when None the
+        first trace's snapshot is used (single-run report).
+    theory_bound:
+        Analytical per-layer bound ``[(k, value), ...]`` computed by
+        the caller (Theorem 7.2's ((c+1)/c)^k − 1), overlaid in orange
+        against the measured error in blue.
+    corrupt:
+        Count of corrupt JSONL lines skipped while loading, surfaced
+        in the header so silent truncation is visible.
+    """
+    snapshots = [t.get("snapshot") or {} for t in traces]
+    roll = merged if merged is not None else (snapshots[0] if snapshots else {})
+    measured = forward_error_by_layer(roll)
+
+    body: List[str] = [f"<h1>{escape(title)}</h1>"]
+    meta = f"{len(traces)} trace record(s)"
+    if corrupt:
+        meta += f" · {corrupt} corrupt line(s) skipped"
+    if theory_label:
+        meta += f" · {theory_label}"
+    body.append(f'<p class="muted">{escape(meta)}</p>')
+
+    body.append("<h2>Per-layer forward error vs Theorem 7.2 bound</h2>")
+    body.append(_overlay_chart(measured, theory_bound))
+
+    body.append("<h2>Counters</h2>")
+    body.append(_counters_table(roll))
+
+    body.append("<h2>Spans &amp; timings</h2>")
+    body.append(_spans_block(roll))
+
+    body.append("<h2>Time series</h2>")
+    body.append(_series_block(roll))
+
+    body.append("<h2>Probe overhead</h2>")
+    body.append(_overhead_block(roll))
+
+    if len(traces) > 1:
+        body.append("<h2>Individual runs</h2>")
+        for t, snap in zip(traces, snapshots):
+            label = str(t.get("label", "run"))
+            body.append(f"<h3>{escape(label)}</h3>")
+            body.append(_counters_table(snap))
+            body.append(_series_block(snap))
+
+    return (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        "</head><body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )

@@ -1,0 +1,124 @@
+"""Live tailing of a run's JSONL sink: ``python -m repro monitor``.
+
+The executor and the traced harness both append one JSON object per
+line to a shared sink.  This module follows that file while a sweep is
+running and prints one rolling summary line per record as it lands —
+trace records get their headline series (epochs seen, last loss, last
+validation accuracy, probe overhead), executor outcomes get their
+status.  Corrupt or partial lines (a writer mid-append) are skipped
+and retried on the next poll.
+
+Stdlib only; records are consumed as raw dicts so the monitor never
+imports the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from .report import probe_overhead
+from .timeseries import (
+    SERIES_EPOCH_LOSS,
+    SERIES_VAL_ACCURACY,
+    series_points,
+)
+
+__all__ = ["follow_jsonl", "summarize_record", "monitor_sink"]
+
+
+def follow_jsonl(
+    path: Union[str, Path],
+    follow: bool = False,
+    poll: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[dict]:
+    """Yield decoded records from a JSONL file, optionally tailing it.
+
+    With ``follow=False`` reads the records present now and returns.
+    With ``follow=True`` keeps polling for appended lines every
+    ``poll`` seconds until ``stop()`` (when given) returns True.
+    Undecodable lines are skipped: a complete-but-corrupt line is
+    dropped for good, while a partial final line (no newline yet) is
+    left in the buffer and retried once the writer finishes it.
+    """
+    path = Path(path)
+    offset = 0
+    buffer = ""
+    while True:
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+        if not follow:
+            return
+        if stop is not None and stop():
+            return
+        time.sleep(poll)
+
+
+def _last(snapshot: dict, name: str):
+    _, values = series_points(snapshot, name)
+    return values[-1] if values else None
+
+
+def summarize_record(record: dict) -> Optional[str]:
+    """One summary line for a sink record; None for unknown shapes."""
+    snapshot = record.get("snapshot")
+    if isinstance(snapshot, dict):
+        label = record.get("label", record.get("kind", "trace"))
+        _, losses = series_points(snapshot, SERIES_EPOCH_LOSS)
+        parts = [f"[trace] {label}:"]
+        if losses:
+            parts.append(f"epochs={len(losses)}")
+            parts.append(f"loss={losses[-1]:.4g}")
+        val = _last(snapshot, SERIES_VAL_ACCURACY)
+        if val is not None:
+            parts.append(f"val_acc={val:.4f}")
+        frac = probe_overhead(snapshot).get("probe.overhead_frac")
+        if frac is not None:
+            parts.append(f"probe_overhead={frac:.1%}")
+        if len(parts) == 1:
+            counters = snapshot.get("counters", {})
+            parts.append(f"counters={len(counters)}")
+        return " ".join(parts)
+    if "status" in record:
+        label = record.get("key", record.get("label", "run"))
+        line = f"[{record['status']}] {label}"
+        error = record.get("error")
+        if error:
+            line += f": {error}"
+        return line
+    return None
+
+
+def monitor_sink(
+    path: Union[str, Path],
+    follow: bool = False,
+    poll: float = 0.5,
+    out: Callable[[str], None] = print,
+    stop: Optional[Callable[[], bool]] = None,
+) -> int:
+    """Print rolling summaries of a sink; returns records summarized."""
+    count = 0
+    for record in follow_jsonl(path, follow=follow, poll=poll, stop=stop):
+        line = summarize_record(record)
+        if line is not None:
+            out(line)
+            count += 1
+    return count

@@ -1,8 +1,9 @@
 """Recorders: the write side of the observability layer.
 
 Instrumented code holds a ``Recorder`` and calls :meth:`~Recorder.add`,
-:meth:`~Recorder.gauge`, :meth:`~Recorder.add_time` and
-:meth:`~Recorder.span`.  Two implementations exist:
+:meth:`~Recorder.gauge`, :meth:`~Recorder.add_time`,
+:meth:`~Recorder.series` and :meth:`~Recorder.span`.  Two
+implementations exist:
 
 * :class:`NullRecorder` (the default, shared singleton
   :data:`NULL_RECORDER`): every method is a no-op and ``enabled`` is
@@ -10,11 +11,13 @@ Instrumented code holds a ``Recorder`` and calls :meth:`~Recorder.add`,
   behind ``if obs.enabled:``, so the disabled path costs a single
   attribute load + C-level call — and provably never touches the
   training RNG or any floating-point state.
-* :class:`InMemoryRecorder`: accumulates counters, gauges, phase timings
-  and hierarchical spans, and snapshots them to a JSON-safe dict.
+* :class:`InMemoryRecorder`: accumulates counters, gauges, phase
+  timings, hierarchical spans and indexed time series, and snapshots
+  them to a JSON-safe dict.
 
 Snapshots from many processes merge with :func:`merge_snapshots`
-(counters/timings/spans sum; gauges take the max).
+(counters/timings/spans sum; gauges take the max; series concatenate
+and re-sort by index).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from .spans import Span, SpanAggregator
+from .timeseries import SeriesStore, merge_series
 
 __all__ = [
     "Recorder",
@@ -49,6 +53,10 @@ class Recorder:
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` into the named phase clock."""
+        raise NotImplementedError
+
+    def series(self, name: str, index: int, value: float) -> None:
+        """Append one (index, value) point to the named time series."""
         raise NotImplementedError
 
     def span(self, name: str):
@@ -89,11 +97,20 @@ class NullRecorder(Recorder):
     def add_time(self, name: str, seconds: float) -> None:
         pass
 
+    def series(self, name: str, index: int, value: float) -> None:
+        pass
+
     def span(self, name: str):
         return _NULL_SPAN
 
     def snapshot(self) -> Dict[str, dict]:
-        return {"counters": {}, "gauges": {}, "timings": {}, "spans": {}}
+        return {
+            "counters": {},
+            "gauges": {},
+            "timings": {},
+            "spans": {},
+            "series": {},
+        }
 
 
 #: module-level singleton used as the default recorder everywhere.
@@ -111,6 +128,7 @@ class InMemoryRecorder(Recorder):
         # name -> [count, total_seconds]
         self.timings: Dict[str, List[float]] = {}
         self._spans = SpanAggregator()
+        self._series = SeriesStore()
 
     # ------------------------------------------------------------------
     def add(self, name: str, value: float = 1) -> None:
@@ -127,6 +145,9 @@ class InMemoryRecorder(Recorder):
             slot[0] += 1
             slot[1] += seconds
 
+    def series(self, name: str, index: int, value: float) -> None:
+        self._series.append(name, index, value)
+
     def span(self, name: str) -> Span:
         return Span(self._spans, name)
 
@@ -134,6 +155,14 @@ class InMemoryRecorder(Recorder):
     def get(self, name: str, default: float = 0) -> float:
         """Current value of a counter (0 when never incremented)."""
         return self.counters.get(name, default)
+
+    def series_snapshot(self) -> Dict[str, List[List[float]]]:
+        """JSON-safe dump of the series section alone (checkpoint carry)."""
+        return self._series.snapshot()
+
+    def load_series(self, payload: Dict[str, List[List[float]]]) -> None:
+        """Replace all series with a checkpointed snapshot (resume path)."""
+        self._series.load(payload)
 
     def snapshot(self) -> Dict[str, dict]:
         """JSON-safe dump of everything recorded so far."""
@@ -148,6 +177,7 @@ class InMemoryRecorder(Recorder):
                 for k, (c, t) in self.timings.items()
             },
             "spans": self._spans.snapshot(),
+            "series": self._series.snapshot(),
         }
 
 
@@ -155,14 +185,25 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
     """Merge worker snapshots into one sweep-level snapshot.
 
     Counters sum; timings and spans sum both count and total; gauges take
-    the maximum (they are high-water marks).  ``None`` entries — tasks
-    that ran untraced or failed — are skipped, so the merge accepts the
-    raw ``result.trace`` list of a sweep directly.
+    the maximum (they are high-water marks); series concatenate and
+    re-sort by index.  ``None`` entries — tasks that ran untraced or
+    failed — are skipped, so the merge accepts the raw ``result.trace``
+    list of a sweep directly.  Snapshots from recorders predating a
+    section (e.g. pre-series traces on disk) merge fine: missing
+    sections are treated as empty.
     """
-    out: dict = {"counters": {}, "gauges": {}, "timings": {}, "spans": {}}
+    out: dict = {
+        "counters": {},
+        "gauges": {},
+        "timings": {},
+        "spans": {},
+        "series": {},
+    }
+    series_parts: List[Optional[dict]] = []
     for snap in snapshots:
         if not snap:
             continue
+        series_parts.append(snap.get("series"))
         for k, v in snap.get("counters", {}).items():
             out["counters"][k] = out["counters"].get(k, 0) + v
         for k, v in snap.get("gauges", {}).items():
@@ -178,4 +219,5 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
                 else:
                     slot["count"] += v["count"]
                     slot["total"] += v["total"]
+    out["series"] = merge_series(series_parts)
     return out

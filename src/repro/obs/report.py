@@ -22,7 +22,38 @@ from .counters import (
     SAMPLER_ROWS_POOL,
 )
 
-__all__ = ["derived_metrics", "render_counters", "render_spans", "render_trace"]
+from .timeseries import series_points
+
+__all__ = [
+    "derived_metrics",
+    "render_counters",
+    "render_spans",
+    "render_series",
+    "render_trace",
+    "probe_overhead",
+]
+
+
+def probe_overhead(snapshot: dict) -> Dict[str, float]:
+    """Probe wall-clock accounting from the ``probe.*`` timings.
+
+    Returns total probe seconds, the ``fit`` span total, and the
+    overhead fraction (probe seconds / fit seconds) when both exist —
+    the number the ≤5 % bench gate watches.
+    """
+    timings = snapshot.get("timings", {})
+    probe_s = sum(
+        v["total"] for k, v in timings.items() if k.startswith("probe.")
+    )
+    out: Dict[str, float] = {}
+    if probe_s:
+        out["probe.seconds"] = probe_s
+    fit = snapshot.get("spans", {}).get("fit")
+    if fit and fit.get("total"):
+        out["fit.seconds"] = fit["total"]
+        if probe_s:
+            out["probe.overhead_frac"] = probe_s / fit["total"]
+    return out
 
 
 def derived_metrics(snapshot: dict) -> Dict[str, float]:
@@ -101,11 +132,33 @@ def render_spans(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def render_series(snapshot: dict) -> str:
+    """One line per recorded series: point count, range and last value."""
+    series = snapshot.get("series", {})
+    if not series:
+        return "(no series recorded)"
+    width = max(len(k) for k in series)
+    lines = []
+    for name in sorted(series):
+        idx, values = series_points(snapshot, name)
+        if not values:
+            continue
+        lines.append(
+            f"  {name:<{width}}  n={len(values):<6} "
+            f"last[{idx[-1]}]={values[-1]:.4g}  "
+            f"min={min(values):.4g}  max={max(values):.4g}"
+        )
+    return "\n".join(lines) if lines else "(no series recorded)"
+
+
 def render_trace(snapshot: dict, title: str = "trace") -> str:
-    """Full human-readable dump: spans then counters."""
-    return (
+    """Full human-readable dump: spans, counters, then series."""
+    text = (
         f"{title}\n"
         f"{'=' * len(title)}\n"
         f"spans/timings:\n{render_spans(snapshot)}\n"
         f"counters:\n{render_counters(snapshot)}"
     )
+    if snapshot.get("series"):
+        text += f"\nseries:\n{render_series(snapshot)}"
+    return text

@@ -16,9 +16,17 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-__all__ = ["TRACE_KIND", "AGGREGATE_KIND", "trace_record", "write_trace", "read_traces"]
+__all__ = [
+    "TRACE_KIND",
+    "AGGREGATE_KIND",
+    "trace_record",
+    "write_trace",
+    "read_traces",
+    "scan_jsonl",
+    "load_trace_file",
+]
 
 TRACE_KIND = "trace"
 AGGREGATE_KIND = "trace_aggregate"
@@ -52,16 +60,19 @@ def write_trace(path: Union[str, Path], record: Dict[str, Any]) -> None:
         f.write(json.dumps(record) + "\n")
 
 
-def read_traces(path: Union[str, Path], kind: Optional[str] = None) -> List[dict]:
-    """All intact trace records in the file (skips executor outcomes).
+def scan_jsonl(path: Union[str, Path]) -> Tuple[List[dict], int]:
+    """All intact JSON records in a JSONL file plus a corrupt-line count.
 
-    ``kind`` filters to one record kind; truncated trailing lines (a
-    crash mid-write) are skipped, matching the executor sink's tolerance.
+    Returns ``(records, corrupt)`` where *records* keeps every
+    decodable object line — trace records *and* executor outcomes — and
+    *corrupt* counts non-empty lines that failed to decode (truncated
+    crash-mid-write tails included).  Raises :class:`FileNotFoundError`
+    for a missing path; callers wanting the lenient empty-list behaviour
+    use :func:`read_traces`.
     """
     path = Path(path)
-    if not path.exists():
-        return []
-    records = []
+    records: List[dict] = []
+    corrupt = 0
     with open(path, encoding="utf-8") as f:
         for line in f:
             line = line.strip()
@@ -70,10 +81,65 @@ def read_traces(path: Union[str, Path], kind: Optional[str] = None) -> List[dict
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                corrupt += 1
                 continue
-            if "kind" not in record or "snapshot" not in record:
-                continue  # an executor outcome line, not a trace
-            if kind is not None and record["kind"] != kind:
-                continue
-            records.append(record)
-    return records
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                corrupt += 1
+    return records, corrupt
+
+
+def _trace_filter(records: List[dict], kind: Optional[str]) -> List[dict]:
+    out = []
+    for record in records:
+        if "kind" not in record or "snapshot" not in record:
+            continue  # an executor outcome line, not a trace
+        if kind is not None and record["kind"] != kind:
+            continue
+        out.append(record)
+    return out
+
+
+def read_traces(path: Union[str, Path], kind: Optional[str] = None) -> List[dict]:
+    """All intact trace records in the file (skips executor outcomes).
+
+    ``kind`` filters to one record kind; corrupt lines (including a
+    truncated crash-mid-write tail) are skipped, matching the executor
+    sink's tolerance, and a missing file reads as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records, _ = scan_jsonl(path)
+    return _trace_filter(records, kind)
+
+
+def load_trace_file(
+    path: Union[str, Path], kind: Optional[str] = None
+) -> Tuple[List[dict], int]:
+    """Strict read for CLI entry points: trace records + corrupt count.
+
+    Raises :class:`FileNotFoundError` when the file does not exist and
+    :class:`ValueError` (with a one-line human message) when it is empty
+    or holds no trace records — so commands can fail cleanly instead of
+    rendering an empty report.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"trace file not found: {path}")
+    records, corrupt = scan_jsonl(path)
+    traces = _trace_filter(records, kind)
+    if not traces:
+        if corrupt and not records:
+            raise ValueError(
+                f"no readable trace records in {path} "
+                f"({corrupt} corrupt line(s))"
+            )
+        if records:
+            raise ValueError(
+                f"no trace records in {path} (found {len(records)} "
+                "non-trace record(s); was it written with --trace/--store?)"
+            )
+        raise ValueError(f"trace file is empty: {path}")
+    return traces, corrupt

@@ -1,0 +1,173 @@
+"""Epoch/batch-indexed metric series.
+
+Counters collapse a run to single totals; *series* keep the trajectory:
+loss per epoch, measured forward error per probe invocation, LSH recall
+as the weights drift.  A series is a name plus a list of ``(index,
+value)`` points where ``index`` is a monotone integer supplied by the
+caller (epoch number or global batch step) — never a wall-clock stamp —
+so two runs of the same seed produce bitwise-identical series.
+
+Series travel the same road as counters: recorded through the
+:class:`~repro.obs.recorder.Recorder` (``series`` method), snapshotted
+into the JSON-safe dict under a ``"series"`` section, merged across
+executor workers by :func:`~repro.obs.recorder.merge_snapshots`
+(concatenate, then sort by index), persisted to the shared JSONL sink,
+and carried through ``TrainerCheckpoint`` so a killed-and-resumed run
+reproduces the identical series.
+
+Like counters, names are catalogued: exact names in
+:data:`SERIES_CATALOG`, families with a per-layer suffix (``<base>.l3``)
+in :data:`SERIES_PREFIXES`.  Tests assert instrumented runs emit only
+catalogued series names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SERIES_CATALOG",
+    "SERIES_PREFIXES",
+    # per-epoch training series
+    "SERIES_EPOCH_LOSS",
+    "SERIES_EPOCH_TIME",
+    "SERIES_VAL_ACCURACY",
+    # probe series (per-layer families use layer_series())
+    "SERIES_FWD_REL_ERROR",
+    "SERIES_FWD_COMPOUND",
+    "SERIES_LSH_RECALL",
+    "SERIES_LSH_PRECISION",
+    "SERIES_MC_REL_BIAS",
+    "SERIES_MC_REL_STD",
+    "SERIES_MC_EXPECTED_ERROR",
+    # machinery
+    "layer_series",
+    "split_layer_series",
+    "is_catalogued_series",
+    "SeriesStore",
+    "merge_series",
+    "series_points",
+]
+
+SERIES_EPOCH_LOSS = "train.epoch_loss"
+SERIES_EPOCH_TIME = "train.epoch_time"
+SERIES_VAL_ACCURACY = "train.val_accuracy"
+
+# Per-layer families: the recorded name is ``layer_series(base, k)`` =
+# ``f"{base}.l{k}"`` with k the 1-based layer index (matching the k in
+# Theorem 7.2's ((c+1)/c)^k - 1 bound).
+SERIES_FWD_REL_ERROR = "probe.forward.rel_error"
+SERIES_FWD_COMPOUND = "probe.forward.compound"
+SERIES_LSH_RECALL = "probe.lsh.recall"
+SERIES_LSH_PRECISION = "probe.lsh.precision"
+
+SERIES_MC_REL_BIAS = "probe.mc.rel_bias"
+SERIES_MC_REL_STD = "probe.mc.rel_std"
+SERIES_MC_EXPECTED_ERROR = "probe.mc.expected_rel_error"
+
+#: exact series name -> one-line description (docs + reports render it).
+SERIES_CATALOG: Dict[str, str] = {
+    SERIES_EPOCH_LOSS: "mean training loss per epoch",
+    SERIES_EPOCH_TIME: "wall-clock seconds per epoch (excluded from resume identity)",
+    SERIES_VAL_ACCURACY: "validation accuracy per epoch",
+    SERIES_MC_REL_BIAS: "relative Frobenius bias of the MC estimator mean over repeated draws",
+    SERIES_MC_REL_STD: "mean relative Frobenius error of single MC draws",
+    SERIES_MC_EXPECTED_ERROR: "closed-form expected relative error of one MC draw",
+}
+
+#: per-layer family base -> description; recorded names are "<base>.l<k>".
+SERIES_PREFIXES: Dict[str, str] = {
+    SERIES_FWD_REL_ERROR: "relative Frobenius error of the approximate forward pass at layer k",
+    SERIES_FWD_COMPOUND: "per-layer compounding ratio err(k)/err(k-1)",
+    SERIES_LSH_RECALL: "LSH recall@k against brute-force MIPS at layer k",
+    SERIES_LSH_PRECISION: "fraction of LSH candidates that are true top-k at layer k",
+}
+
+
+def layer_series(base: str, layer: int) -> str:
+    """Recorded name of a per-layer series family member: ``base.l<k>``."""
+    return f"{base}.l{int(layer)}"
+
+
+def split_layer_series(name: str) -> Optional[Tuple[str, int]]:
+    """Inverse of :func:`layer_series`; None when ``name`` has no ``.l<k>``."""
+    base, dot, suffix = name.rpartition(".l")
+    if not dot or not suffix.isdigit():
+        return None
+    return base, int(suffix)
+
+
+def is_catalogued_series(name: str) -> bool:
+    """True when ``name`` is an exact catalogue entry or a layer family member."""
+    if name in SERIES_CATALOG:
+        return True
+    parsed = split_layer_series(name)
+    return parsed is not None and parsed[0] in SERIES_PREFIXES
+
+
+class SeriesStore:
+    """Ordered (index, value) points per series name; JSON-safe snapshots."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[List[float]]] = {}
+
+    def append(self, name: str, index: int, value: float) -> None:
+        self._series.setdefault(name, []).append([int(index), float(value)])
+
+    def names(self) -> List[str]:
+        return list(self._series)
+
+    def points(self, name: str) -> List[List[float]]:
+        return self._series.get(name, [])
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self) -> Dict[str, List[List[float]]]:
+        """JSON-safe dump: ``{name: [[index, value], ...]}``."""
+        return {
+            name: [[int(i), float(v)] for i, v in points]
+            for name, points in self._series.items()
+        }
+
+    def load(self, payload: Dict[str, List[List[float]]]) -> None:
+        """Replace all series with a snapshot (checkpoint restore path)."""
+        self._series = {
+            name: [[int(i), float(v)] for i, v in points]
+            for name, points in payload.items()
+        }
+
+
+def merge_series(
+    parts: Iterable[Optional[Dict[str, List[List[float]]]]],
+) -> Dict[str, List[List[float]]]:
+    """Merge per-worker series sections: concatenate, then sort by index.
+
+    The sort is stable, so same-index points keep their per-worker order;
+    ``None`` parts (untraced workers, pre-series snapshots) are skipped.
+    """
+    out: Dict[str, List[List[float]]] = {}
+    for part in parts:
+        if not part:
+            continue
+        for name, points in part.items():
+            out.setdefault(name, []).extend(
+                [int(i), float(v)] for i, v in points
+            )
+    for points in out.values():
+        points.sort(key=lambda point: point[0])
+    return out
+
+
+def series_points(
+    snapshot: dict, name: str
+) -> Tuple[List[int], List[float]]:
+    """(indices, values) of one series from a full snapshot dict.
+
+    Accepts either a full recorder snapshot (reads its ``"series"``
+    section, tolerating pre-series snapshots that lack one) or a bare
+    series section.
+    """
+    section = snapshot.get("series", snapshot) or {}
+    points = section.get(name, [])
+    return [int(i) for i, _ in points], [float(v) for _, v in points]

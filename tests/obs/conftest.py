@@ -15,6 +15,7 @@ import pytest
 from repro.core import make_trainer
 from repro.nn.network import MLP
 from repro.obs import InMemoryRecorder
+from repro.obs.probes import ProbeManager, default_probes
 
 TRAINER_NAMES = ["standard", "dropout", "adaptive_dropout", "alsh", "mc", "topk"]
 
@@ -34,10 +35,19 @@ def weights_digest(net) -> str:
     return digest.hexdigest()
 
 
-def run_trainer(name, dataset, recorder=None):
+def run_trainer(name, dataset, recorder=None, probe_every=None):
     """One fixed-seed 2-epoch training run; returns (trainer, history)."""
     net = MLP(LAYER_SIZES, seed=SEED)
     trainer = make_trainer(name, net, seed=SEED, recorder=recorder)
+    if probe_every is not None:
+        trainer.attach_probes(
+            ProbeManager(
+                default_probes(),
+                probe_every=probe_every,
+                budget=None,
+                seed=SEED,
+            )
+        )
     history = trainer.fit(
         dataset.x_train,
         dataset.y_train,
@@ -64,6 +74,26 @@ def traced_runs(tiny_dataset):
             "test_acc": float(
                 trainer.evaluate(tiny_dataset.x_test, tiny_dataset.y_test)
             ),
+            "snapshot": trainer.obs.snapshot(),
+        }
+    return out
+
+
+@pytest.fixture(scope="session")
+def probed_runs(tiny_dataset):
+    """Per-method results of traced runs with quality probes attached.
+
+    Kept separate from ``traced_runs`` so the golden-trace counters stay
+    probe-free; the ``probe.*`` counters and series live here.
+    """
+    out = {}
+    for name in TRAINER_NAMES:
+        trainer, history = run_trainer(
+            name, tiny_dataset, InMemoryRecorder(), probe_every=3
+        )
+        out[name] = {
+            "digest": weights_digest(trainer.net),
+            "final_loss": float(history.losses()[-1]),
             "snapshot": trainer.obs.snapshot(),
         }
     return out

@@ -1,0 +1,57 @@
+"""Catalogue coverage: every name an instrumented run emits is documented.
+
+Satellite guarantee: run all six trainers with probes attached and
+assert every counter, gauge and series that lands in the snapshot has a
+catalogue entry (``COUNTER_CATALOG`` / ``GAUGE_CATALOG`` /
+``SERIES_CATALOG``+``SERIES_PREFIXES``), so reports and docs can always
+describe what they show.
+"""
+
+import pytest
+
+from repro.obs import is_catalogued_series
+from repro.obs.counters import COUNTER_CATALOG, GAUGE_CATALOG
+from repro.obs.timeseries import SERIES_CATALOG, SERIES_PREFIXES
+
+from .conftest import TRAINER_NAMES
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+class TestProbedRunCoverage:
+    def test_all_counters_catalogued(self, name, probed_runs):
+        emitted = probed_runs[name]["snapshot"]["counters"]
+        missing = sorted(set(emitted) - set(COUNTER_CATALOG))
+        assert not missing, f"{name} emitted uncatalogued counters: {missing}"
+
+    def test_all_gauges_catalogued(self, name, probed_runs):
+        emitted = probed_runs[name]["snapshot"]["gauges"]
+        missing = sorted(set(emitted) - set(GAUGE_CATALOG))
+        assert not missing, f"{name} emitted uncatalogued gauges: {missing}"
+
+    def test_all_series_catalogued(self, name, probed_runs):
+        emitted = probed_runs[name]["snapshot"]["series"]
+        missing = sorted(
+            s for s in emitted if not is_catalogued_series(s)
+        )
+        assert not missing, f"{name} emitted uncatalogued series: {missing}"
+
+
+class TestCatalogueHygiene:
+    def test_descriptions_are_nonempty(self):
+        for catalogue in (COUNTER_CATALOG, GAUGE_CATALOG, SERIES_CATALOG,
+                          SERIES_PREFIXES):
+            for name, desc in catalogue.items():
+                assert desc.strip(), f"{name} has an empty description"
+
+    def test_no_name_collisions_across_catalogues(self):
+        names = (
+            list(COUNTER_CATALOG) + list(GAUGE_CATALOG)
+            + list(SERIES_CATALOG) + list(SERIES_PREFIXES)
+        )
+        assert len(names) == len(set(names))
+
+    def test_probe_counters_present(self):
+        for name in ("probe.runs", "probe.skipped", "probe.budget_disabled",
+                     "probe.points"):
+            assert name in COUNTER_CATALOG
+        assert "lsh.garbage_frac" in GAUGE_CATALOG

@@ -1,0 +1,86 @@
+"""The single-file HTML report renderer."""
+
+import pytest
+
+from repro.obs import InMemoryRecorder, render_html_report, trace_record
+from repro.obs.html import forward_error_by_layer
+from repro.obs.timeseries import (
+    SERIES_EPOCH_LOSS,
+    SERIES_FWD_REL_ERROR,
+    layer_series,
+)
+
+
+@pytest.fixture
+def snapshot():
+    rec = InMemoryRecorder()
+    with rec.span("fit"):
+        with rec.span("epoch"):
+            pass
+    rec.add("train.batches", 12)
+    rec.gauge("lsh.garbage_frac", 0.25)
+    rec.add_time("probe.forward_error", 0.05)
+    rec.series(SERIES_EPOCH_LOSS, 0, 2.0)
+    rec.series(SERIES_EPOCH_LOSS, 1, 1.5)
+    for step in (10, 20):
+        rec.series(layer_series(SERIES_FWD_REL_ERROR, 1), step, 0.1)
+        rec.series(layer_series(SERIES_FWD_REL_ERROR, 2), step, 0.3)
+    return rec.snapshot()
+
+
+class TestForwardErrorByLayer:
+    def test_mean_per_layer_sorted(self, snapshot):
+        assert forward_error_by_layer(snapshot) == [(1, 0.1), (2, 0.3)]
+
+    def test_empty_snapshot(self):
+        assert forward_error_by_layer({}) == []
+
+
+class TestRenderHtmlReport:
+    def test_self_contained_document(self, snapshot):
+        html = render_html_report([trace_record(snapshot, label="run-1")])
+        assert html.startswith("<!doctype html>")
+        assert html.count("<svg") == html.count("</svg>") > 0
+        # no external assets: everything is inline
+        assert "http://" not in html and "https://" not in html
+        assert "<script" not in html and "<link" not in html
+
+    def test_required_sections_present(self, snapshot):
+        html = render_html_report([trace_record(snapshot, label="run-1")])
+        for heading in ("Per-layer forward error", "Counters",
+                        "Spans &amp; timings", "Time series",
+                        "Probe overhead"):
+            assert heading in html, heading
+
+    def test_theory_overlay_uses_both_series_colors(self, snapshot):
+        html = render_html_report(
+            [trace_record(snapshot)],
+            theory_bound=[(1, 0.2), (2, 0.44)],
+            theory_label="Theorem 7.2 bound at c = 5",
+        )
+        assert "var(--s1)" in html  # measured, series-1 blue
+        assert "var(--s2)" in html  # analytical bound, series-2 orange
+        assert "Theorem 7.2 bound" in html
+        assert 'class="legend"' in html
+
+    def test_dark_mode_tokens_present(self, snapshot):
+        html = render_html_report([trace_record(snapshot)])
+        assert "prefers-color-scheme: dark" in html
+        assert ":root[data-theme=" in html
+
+    def test_labels_are_escaped(self, snapshot):
+        html = render_html_report(
+            [trace_record(snapshot, label="<script>x</script>"),
+             trace_record(snapshot, label="other")],
+            title="a <b> title",
+        )
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_corrupt_count_surfaced(self, snapshot):
+        html = render_html_report([trace_record(snapshot)], corrupt=3)
+        assert "3 corrupt line(s) skipped" in html
+
+    def test_empty_traces_render_without_error(self):
+        html = render_html_report([])
+        assert "0 trace record(s)" in html

@@ -1,0 +1,104 @@
+"""Edge cases for merge_snapshots (satellite: cross-worker merging).
+
+The executor merges snapshots produced by workers that may be running
+different recorder versions (a resumed sweep mixing old sink records
+with new ones), so the merge must tolerate missing sections, None
+entries and disagreeing gauge values without losing data.
+"""
+
+import pytest
+
+from repro.obs import InMemoryRecorder, merge_snapshots
+
+EMPTY = {"counters": {}, "gauges": {}, "timings": {}, "spans": {},
+         "series": {}}
+
+
+class TestEmptyInputs:
+    def test_empty_list(self):
+        assert merge_snapshots([]) == EMPTY
+
+    def test_all_none(self):
+        assert merge_snapshots([None, None, None]) == EMPTY
+
+
+class TestGaugeConflicts:
+    def test_conflicting_gauges_keep_high_water_mark(self):
+        workers = [
+            {"gauges": {"lsh.bucket_max_load": 10.0, "only.a": 1.0}},
+            {"gauges": {"lsh.bucket_max_load": 25.0}},
+            {"gauges": {"lsh.bucket_max_load": 3.0, "only.c": 9.0}},
+        ]
+        merged = merge_snapshots(workers)
+        assert merged["gauges"] == {
+            "lsh.bucket_max_load": 25.0,
+            "only.a": 1.0,
+            "only.c": 9.0,
+        }
+
+    def test_negative_gauges_still_take_max(self):
+        merged = merge_snapshots(
+            [{"gauges": {"g": -5.0}}, {"gauges": {"g": -2.0}}]
+        )
+        assert merged["gauges"]["g"] == -2.0
+
+
+class TestDeepSpanTrees:
+    def test_deeply_nested_span_paths_merge_by_path(self):
+        rec_a, rec_b = InMemoryRecorder(), InMemoryRecorder()
+        for rec in (rec_a, rec_b):
+            with rec.span("fit"):
+                for _ in range(2):
+                    with rec.span("epoch"):
+                        with rec.span("batch"):
+                            with rec.span("forward"):
+                                with rec.span("gemm"):
+                                    pass
+        merged = merge_snapshots([rec_a.snapshot(), rec_b.snapshot()])
+        deep = "fit/epoch/batch/forward/gemm"
+        assert merged["spans"][deep]["count"] == 4
+        assert merged["spans"]["fit/epoch"]["count"] == 4
+        assert merged["spans"]["fit"]["count"] == 2
+
+    def test_sibling_paths_do_not_collide(self):
+        rec = InMemoryRecorder()
+        with rec.span("fit"):
+            with rec.span("forward"):
+                pass
+        with rec.span("forward"):
+            pass
+        snap = merge_snapshots([rec.snapshot()])
+        assert snap["spans"]["fit/forward"]["count"] == 1
+        assert snap["spans"]["forward"]["count"] == 1
+
+
+class TestMixedRecorderVersions:
+    def test_pre_series_snapshot_merges_with_current(self):
+        """A snapshot written before the series section existed (PR 3
+        recorder) merges cleanly with one that has it."""
+        old = {"counters": {"train.batches": 5}, "gauges": {},
+               "timings": {}, "spans": {}}  # no "series" key
+        new = InMemoryRecorder()
+        new.add("train.batches", 3)
+        new.series("train.epoch_loss", 0, 1.5)
+        merged = merge_snapshots([old, new.snapshot()])
+        assert merged["counters"]["train.batches"] == 8
+        assert merged["series"] == {"train.epoch_loss": [[0, 1.5]]}
+
+    def test_minimal_sections_tolerated(self):
+        merged = merge_snapshots(
+            [{"counters": {"c": 1}}, {"series": {"s": [[0, 2.0]]}}, {}]
+        )
+        assert merged["counters"] == {"c": 1}
+        assert merged["series"] == {"s": [[0, 2.0]]}
+
+    def test_merge_result_is_mergeable_again(self):
+        """Aggregates written back to the sink can be re-merged (sweep
+        of sweeps) without shape errors."""
+        rec = InMemoryRecorder()
+        rec.add("c", 2)
+        rec.series("s", 1, 3.0)
+        once = merge_snapshots([rec.snapshot(), None])
+        twice = merge_snapshots([once, once])
+        assert twice["counters"]["c"] == 4
+        assert twice["series"]["s"] == [[1, 3.0], [1, 3.0]]

@@ -46,6 +46,13 @@ def test_enabled_recorder_does_not_perturb_training(name, traced_runs):
 
 
 @pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_probes_do_not_perturb_training(name, probed_runs):
+    """Quality probes are strictly read-only: a probed run reproduces the
+    pre-instrumentation bytes exactly, at any cadence."""
+    assert probed_runs[name]["digest"] == PRE_INSTRUMENTATION_DIGESTS[name]
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
 def test_default_recorder_is_the_shared_null_singleton(name):
     trainer = make_trainer(name, MLP([8, 4, 4, 3], seed=0), seed=0)
     assert trainer.obs is NULL_RECORDER

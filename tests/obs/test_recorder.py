@@ -34,6 +34,7 @@ class TestNullRecorder:
             "gauges": {},
             "timings": {},
             "spans": {},
+            "series": {},
         }
 
     def test_span_is_shared_instance(self):
@@ -121,7 +122,13 @@ class TestMergeSnapshots:
 
     def test_merge_of_nothing_is_empty(self):
         merged = merge_snapshots([None, {}])
-        assert merged == {"counters": {}, "gauges": {}, "timings": {}, "spans": {}}
+        assert merged == {
+            "counters": {},
+            "gauges": {},
+            "timings": {},
+            "spans": {},
+            "series": {},
+        }
 
     def test_merge_is_associative_on_counters(self):
         snaps = [

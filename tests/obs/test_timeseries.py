@@ -1,0 +1,124 @@
+"""Unit tests for repro.obs.timeseries and the recorder's series API."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemoryRecorder,
+    NullRecorder,
+    SeriesStore,
+    is_catalogued_series,
+    layer_series,
+    merge_series,
+    merge_snapshots,
+    series_points,
+    split_layer_series,
+)
+from repro.obs.timeseries import (
+    SERIES_CATALOG,
+    SERIES_EPOCH_LOSS,
+    SERIES_FWD_REL_ERROR,
+    SERIES_PREFIXES,
+)
+
+
+class TestNaming:
+    def test_layer_series_round_trip(self):
+        name = layer_series(SERIES_FWD_REL_ERROR, 3)
+        assert name == "probe.forward.rel_error.l3"
+        assert split_layer_series(name) == (SERIES_FWD_REL_ERROR, 3)
+
+    def test_split_rejects_non_layer_names(self):
+        assert split_layer_series(SERIES_EPOCH_LOSS) is None
+        assert split_layer_series("no.layer.suffix") is None
+        assert split_layer_series("trailing.lx") is None
+
+    def test_catalogue_membership(self):
+        assert is_catalogued_series(SERIES_EPOCH_LOSS)
+        assert is_catalogued_series(layer_series(SERIES_FWD_REL_ERROR, 2))
+        assert not is_catalogued_series("made.up.series")
+        assert not is_catalogued_series("made.up.family.l2")
+
+    def test_catalogues_do_not_overlap(self):
+        assert not set(SERIES_CATALOG) & set(SERIES_PREFIXES)
+
+
+class TestSeriesStore:
+    def test_append_and_snapshot_are_json_safe(self):
+        store = SeriesStore()
+        store.append("a", 0, 1.5)
+        store.append("a", 1, 2.5)
+        snap = store.snapshot()
+        assert snap == {"a": [[0, 1.5], [1, 2.5]]}
+        json.dumps(snap)  # must not raise
+
+    def test_load_replaces_wholesale(self):
+        store = SeriesStore()
+        store.append("old", 0, 1.0)
+        store.load({"new": [[3, 4.0]]})
+        assert store.names() == ["new"]
+        assert store.points("new") == [[3, 4.0]]
+
+    def test_len_counts_series_not_points(self):
+        store = SeriesStore()
+        store.append("a", 0, 1.0)
+        store.append("a", 1, 2.0)
+        store.append("b", 0, 3.0)
+        assert len(store) == 2
+
+
+class TestMergeSeries:
+    def test_concatenates_and_sorts_by_index(self):
+        merged = merge_series(
+            [{"s": [[2, 20.0], [4, 40.0]]}, {"s": [[1, 10.0], [3, 30.0]]}]
+        )
+        assert merged == {"s": [[1, 10.0], [2, 20.0], [3, 30.0], [4, 40.0]]}
+
+    def test_stable_on_equal_indices(self):
+        merged = merge_series([{"s": [[1, 1.0]]}, {"s": [[1, 2.0]]}])
+        assert merged == {"s": [[1, 1.0], [1, 2.0]]}
+
+    def test_skips_none_and_empty_parts(self):
+        assert merge_series([None, {}, {"s": [[0, 1.0]]}]) == {"s": [[0, 1.0]]}
+
+
+class TestSeriesPoints:
+    def test_reads_full_snapshot(self):
+        snap = {"series": {"s": [[0, 1.0], [1, 2.0]]}}
+        assert series_points(snap, "s") == ([0, 1], [1.0, 2.0])
+
+    def test_reads_bare_section(self):
+        assert series_points({"s": [[0, 1.0]]}, "s") == ([0], [1.0])
+
+    def test_missing_series_and_missing_section(self):
+        assert series_points({"series": {}}, "s") == ([], [])
+        assert series_points({"counters": {}}, "s") == ([], [])
+
+
+class TestRecorderSeries:
+    def test_null_recorder_series_is_noop(self):
+        rec = NullRecorder()
+        rec.series("s", 0, 1.0)
+        assert rec.snapshot()["series"] == {}
+
+    def test_inmemory_records_and_snapshots(self):
+        rec = InMemoryRecorder()
+        rec.series("s", 0, 1.5)
+        rec.series("s", 1, 2.5)
+        assert rec.snapshot()["series"] == {"s": [[0, 1.5], [1, 2.5]]}
+
+    def test_series_snapshot_and_load_round_trip(self):
+        rec = InMemoryRecorder()
+        rec.series("s", 0, 1.0)
+        payload = rec.series_snapshot()
+        fresh = InMemoryRecorder()
+        fresh.load_series(payload)
+        assert fresh.snapshot()["series"] == rec.snapshot()["series"]
+
+    def test_merge_snapshots_merges_series(self):
+        a, b = InMemoryRecorder(), InMemoryRecorder()
+        a.series("s", 1, 10.0)
+        b.series("s", 0, 5.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["series"] == {"s": [[0, 5.0], [1, 10.0]]}

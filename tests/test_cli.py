@@ -113,3 +113,111 @@ class TestCompareCommand:
         out = capsys.readouterr().out
         assert "standard^M" in out
         assert "mc^M" in out
+
+
+@pytest.fixture(scope="module")
+def probed_trace(tmp_path_factory):
+    """One tiny probed traced run stored to a JSONL file."""
+    store = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    code = main(
+        [
+            "trace-report",
+            "--method", "mc",
+            "--data-scale", "0.003",
+            "--hidden-layers", "2",
+            "--hidden-width", "16",
+            "--epochs", "1",
+            "--probe-every", "2",
+            "--store", str(store),
+        ]
+    )
+    assert code == 0
+    return store
+
+
+class TestTraceReportCommand:
+    def test_probed_run_prints_series(self, capsys, probed_trace):
+        code = main(["trace-report", "--from-store", str(probed_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "series:" in out
+        assert "probe.mc.rel_bias" in out
+        assert "probe.runs" in out
+
+    def test_from_store_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["trace-report", "--from-store", str(tmp_path / "no.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "trace file not found" in err
+        assert "Traceback" not in err
+
+
+class TestReportCommand:
+    def test_writes_self_contained_html(self, capsys, probed_trace, tmp_path):
+        out_path = tmp_path / "report.html"
+        code = main(["report", str(probed_trace), "--out", str(out_path)])
+        assert code == 0
+        html = out_path.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "Theorem 7.2 bound" in html
+        assert "<script" not in html and "<link" not in html
+
+    def test_no_theory_flag(self, probed_trace, tmp_path):
+        out_path = tmp_path / "report.html"
+        code = main(["report", str(probed_trace), "--out", str(out_path),
+                     "--no-theory"])
+        assert code == 0
+        assert "Theorem 7.2 bound at c" not in out_path.read_text()
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "trace file not found" in err
+
+    def test_empty_file_fails_cleanly(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "trace file is empty" in capsys.readouterr().err
+
+    def test_all_corrupt_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\nnor this\n")
+        assert main(["report", str(bad)]) == 2
+        assert "2 corrupt line(s)" in capsys.readouterr().err
+
+    def test_corrupt_lines_skipped_with_warning(self, capsys, probed_trace,
+                                                tmp_path):
+        mixed = tmp_path / "mixed.jsonl"
+        mixed.write_text(probed_trace.read_text() + "{truncated\n")
+        out_path = tmp_path / "report.html"
+        code = main(["report", str(mixed), "--out", str(out_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt line(s)" in captured.err
+        assert out_path.exists()
+
+
+class TestMonitorCommand:
+    def test_prints_rolling_summaries(self, capsys, probed_trace):
+        code = main(["monitor", str(probed_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[trace]" in out
+        assert "epochs=1" in out
+
+    def test_missing_sink_fails_cleanly(self, capsys, tmp_path):
+        code = main(["monitor", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        assert "sink file not found" in capsys.readouterr().err
+
+
+class TestSweepProbeFlag:
+    def test_probe_every_requires_trace(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--store", str(tmp_path / "s.jsonl"),
+             "--probe-every", "5"]
+        )
+        assert code == 2
+        assert "--probe-every requires --trace" in capsys.readouterr().err
