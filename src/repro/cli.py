@@ -23,6 +23,11 @@ Commands
     Benchmark the dict vs flat LSH backends on the ALSH hot path and
     write the ``BENCH_lsh.json`` perf-trajectory file (``--smoke``,
     ``--check``, ``--store`` for the executor's resumable JSONL sink).
+``backend-bench``
+    Benchmark the reference vs fast/threaded compute backends on the
+    paper's dense and sampled GEMM shapes and write the
+    ``BENCH_backend.json`` perf-trajectory file (``--quick``,
+    ``--check``).
 ``trace-report``
     Train one configuration with the observability recorder attached and
     print the span tree, the counter catalogue rollup and the measured
@@ -48,6 +53,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .backend import available_backends
 from .data.benchmarks import BENCHMARKS, benchmark_names
 from .harness.config import ExperimentConfig
 from .harness.experiment import run_experiment
@@ -78,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--lr", type=float, default=1e-3)
     run.add_argument("--optimizer", default="sgd")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--backend", default=None, choices=available_backends(),
+                     help="compute backend for the trainer's GEMM kernels "
+                          "(default: $REPRO_BACKEND or reference)")
     run.add_argument("--paper-defaults", action="store_true",
                      help="apply the §8.4 method defaults before overrides")
     run.add_argument("--store", help="append the result to this JSONL file")
@@ -121,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--lr", type=float, default=1e-3)
     sweep.add_argument("--optimizer", default="sgd")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--backend", default=None, choices=available_backends(),
+                       help="compute backend for every task (recorded in "
+                            "each JSONL task record)")
     sweep.add_argument("--paper-defaults", action="store_true",
                        help="apply the §8.4 method defaults per grid point")
     sweep.add_argument("--workers", type=int, default=1,
@@ -177,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--lr", type=float, default=1e-3)
     trace.add_argument("--optimizer", default="sgd")
     trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--backend", default=None, choices=available_backends(),
+                       help="compute backend to trace (per-kernel timings "
+                           "and FLOPs land in the report)")
     trace.add_argument("--paper-defaults", action="store_true",
                        help="apply the §8.4 method defaults before overrides")
     trace.add_argument("--store",
@@ -217,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         "lsh-bench", help="benchmark dict vs flat LSH backends"
     )
     lsh_bench.add_arguments(lsh)
+
+    from .backend import bench as backend_bench
+
+    bb = sub.add_parser(
+        "backend-bench", help="benchmark reference vs fast/threaded backends"
+    )
+    backend_bench.add_arguments(bb)
     return parser
 
 
@@ -231,6 +253,7 @@ def _cmd_run(args) -> int:
             hidden_width=args.hidden_width,
             epochs=args.epochs,
             seed=args.seed,
+            backend=args.backend,
         )
     else:
         cfg = ExperimentConfig(
@@ -244,6 +267,7 @@ def _cmd_run(args) -> int:
             lr=args.lr,
             optimizer=args.optimizer,
             seed=args.seed,
+            backend=args.backend,
         )
     result = run_experiment(
         cfg,
@@ -268,9 +292,12 @@ def _cmd_run(args) -> int:
 
         data = load_benchmark(cfg.dataset, scale=cfg.data_scale, seed=cfg.seed)
         net = build_network(cfg, data)
+        extra = dict(cfg.method_kwargs)
+        if cfg.backend is not None:
+            extra["compute_backend"] = cfg.backend
         trainer = make_trainer(
             cfg.method, net, lr=cfg.lr, optimizer=cfg.optimizer,
-            seed=cfg.seed, **cfg.method_kwargs,
+            seed=cfg.seed, **extra,
         )
         trainer.fit(data.x_train, data.y_train, epochs=cfg.epochs,
                     batch_size=cfg.batch_size)
@@ -367,6 +394,7 @@ def _cmd_trace_report(args) -> int:
             hidden_width=args.hidden_width,
             epochs=args.epochs,
             seed=args.seed,
+            backend=args.backend,
         )
     else:
         cfg = ExperimentConfig(
@@ -380,6 +408,7 @@ def _cmd_trace_report(args) -> int:
             lr=args.lr,
             optimizer=args.optimizer,
             seed=args.seed,
+            backend=args.backend,
         )
     data = load_benchmark(cfg.dataset, scale=cfg.data_scale, seed=cfg.seed)
     recorder = InMemoryRecorder()
@@ -500,6 +529,7 @@ def _cmd_sweep(args) -> int:
         lr=args.lr,
         optimizer=args.optimizer,
         seed=args.seed,
+        backend=args.backend,
     )
     sweep = Sweep(
         base,
@@ -647,6 +677,12 @@ def _cmd_lsh_bench(args) -> int:
     return lsh_bench.run_cli(args)
 
 
+def _cmd_backend_bench(args) -> int:
+    from .backend import bench as backend_bench
+
+    return backend_bench.run_cli(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -658,6 +694,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "flops": _cmd_flops,
         "datasets": _cmd_datasets,
         "lsh-bench": _cmd_lsh_bench,
+        "backend-bench": _cmd_backend_bench,
         "trace-report": _cmd_trace_report,
         "report": _cmd_report,
         "monitor": _cmd_monitor,

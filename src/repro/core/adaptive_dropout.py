@@ -63,9 +63,15 @@ class AdaptiveDropoutTrainer(Trainer):
         target_keep: float = 0.05,
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        compute_backend=None,
     ):
         super().__init__(
-            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+            network,
+            lr=lr,
+            optimizer=optimizer,
+            seed=seed,
+            recorder=recorder,
+            compute_backend=compute_backend,
         )
         if not 0.0 < target_keep < 1.0:
             raise ValueError(f"target_keep must be in (0, 1), got {target_keep}")

@@ -105,9 +105,15 @@ class ALSHApproxTrainer(Trainer):
         batch_mode: str = "per_sample",
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        compute_backend=None,
     ):
         super().__init__(
-            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+            network,
+            lr=lr,
+            optimizer=optimizer,
+            seed=seed,
+            recorder=recorder,
+            compute_backend=compute_backend,
         )
         if not 0.0 < min_active_frac <= max_active_frac <= 1.0:
             raise ValueError(
@@ -284,6 +290,7 @@ class ALSHApproxTrainer(Trainer):
         layers = self.net.layers
         act = self.net.hidden_activation
         batch = x.shape[0]
+        backend = self._backend()
 
         with self._time_forward():
             active_sets: List[np.ndarray] = []
@@ -294,14 +301,14 @@ class ALSHApproxTrainer(Trainer):
                 cand = self._select_active_union(i, a_prev)
                 active_sets.append(cand)
                 self._active_sum[i] += cand.size / layers[i].n_out
-                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                z_c = backend.matmul_cols(a_prev, layers[i].W, layers[i].b, cand)
                 z_actives.append(z_c)
                 a_full = np.zeros((batch, layers[i].n_out))
                 a_full[:, cand] = act.forward(z_c)
                 acts.append(a_full)
                 a_prev = a_full
             self._active_count += 1
-            logits = a_prev @ layers[-1].W + layers[-1].b
+            logits = backend.matmul_add_bias(a_prev, layers[-1].W, layers[-1].b)
             logp = LogSoftmax().forward(logits)
             loss = float(-logp[np.arange(batch), y].mean())
 
@@ -310,18 +317,18 @@ class ALSHApproxTrainer(Trainer):
             delta[np.arange(batch), y] -= 1.0
             delta /= batch
             # Backpropagate through the pre-update output weights first.
-            da = delta @ layers[-1].W.T
-            g_w = acts[-1].T @ delta
+            da = backend.matmul(delta, layers[-1].W.T)
+            g_w = backend.grad_cols(acts[-1], delta)
             g_b = delta.sum(axis=0)
             self._update(("W", self.n_hidden), layers[-1].W, g_w)
             self._update(("b", self.n_hidden), layers[-1].b, g_b)
             for i in range(self.n_hidden - 1, -1, -1):
                 cand = active_sets[i]
                 delta_c = da[:, cand] * act.derivative(z_actives[i])
-                g_w_cols = acts[i].T @ delta_c
+                g_w_cols = backend.grad_cols(acts[i], delta_c)
                 g_b_cols = delta_c.sum(axis=0)
                 if i > 0:
-                    da = delta_c @ layers[i].W[:, cand].T
+                    da = backend.backprop_cols(delta_c, layers[i].W, cand)
                 self._update(("W", i), layers[i].W, g_w_cols, index=cand)
                 self._update(("b", i), layers[i].b, g_b_cols, index=cand)
                 self._touched[i].update(cand.tolist())
@@ -337,6 +344,7 @@ class ALSHApproxTrainer(Trainer):
     def _train_one(self, x: np.ndarray, y: int) -> float:
         layers = self.net.layers
         act = self.net.hidden_activation
+        backend = self._backend()
 
         with self._time_forward():
             active_sets: List[np.ndarray] = []
@@ -347,14 +355,14 @@ class ALSHApproxTrainer(Trainer):
                 cand = self._select_active(i, a_prev)
                 active_sets.append(cand)
                 self._active_sum[i] += cand.size / layers[i].n_out
-                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                z_c = backend.matmul_cols(a_prev, layers[i].W, layers[i].b, cand)
                 z_actives.append(z_c)
                 a_full = np.zeros(layers[i].n_out)
                 a_full[cand] = act.forward(z_c)
                 acts.append(a_full)
                 a_prev = a_full
             self._active_count += 1
-            logits = a_prev @ layers[-1].W + layers[-1].b
+            logits = backend.matmul_add_bias(a_prev, layers[-1].W, layers[-1].b)
             logp = LogSoftmax().forward(logits.reshape(1, -1))[0]
             loss = float(-logp[y])
 
@@ -364,19 +372,19 @@ class ALSHApproxTrainer(Trainer):
             delta[y] -= 1.0
             # Output layer: dense update (every class participates).
             # Backpropagate through the pre-update weights first.
-            da = layers[-1].W @ delta
-            g_w = np.outer(acts[-1], delta)
+            da = backend.matmul(layers[-1].W, delta)
+            g_w = backend.grad_cols(acts[-1], delta)
             self._update(("W", self.n_hidden), layers[-1].W, g_w)
             self._update(("b", self.n_hidden), layers[-1].b, delta)
             for i in range(self.n_hidden - 1, -1, -1):
                 cand = active_sets[i]
                 delta_c = da[cand] * act.derivative(z_actives[i])
-                g_w_cols = np.outer(acts[i], delta_c)
+                g_w_cols = backend.grad_cols(acts[i], delta_c)
                 self._update(("W", i), layers[i].W, g_w_cols, index=cand)
                 self._update(("b", i), layers[i].b, delta_c, index=cand)
                 self._touched[i].update(cand.tolist())
                 if i > 0:
-                    da = layers[i].W[:, cand] @ delta_c
+                    da = backend.backprop_cols(delta_c, layers[i].W, cand)
             if self.rebuild.record(1):
                 self._refresh_tables()
         if self.obs.enabled:
@@ -477,18 +485,19 @@ class ALSHApproxTrainer(Trainer):
         x = np.atleast_2d(np.asarray(x, dtype=float))
         layers = self.net.layers
         act = self.net.hidden_activation
+        backend = self._backend()
         out = np.empty(x.shape[0], dtype=int)
         for s in range(x.shape[0]):
             a_prev = x[s]
             for i in range(self.n_hidden):
                 cand = self._select_active(i, a_prev)
                 self._active_sum[i] += cand.size / layers[i].n_out
-                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                z_c = backend.matmul_cols(a_prev, layers[i].W, layers[i].b, cand)
                 a_full = np.zeros(layers[i].n_out)
                 a_full[cand] = act.forward(z_c)
                 a_prev = a_full
             self._active_count += 1
-            logits = a_prev @ layers[-1].W + layers[-1].b
+            logits = backend.matmul_add_bias(a_prev, layers[-1].W, layers[-1].b)
             out[s] = int(np.argmax(logits))
         return out
 

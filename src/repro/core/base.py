@@ -11,12 +11,20 @@ object the benches consume.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import (
+    ComputeBackend,
+    InstrumentedBackend,
+    active_backend,
+    resolve_backend,
+    use_backend,
+)
 from ..data.loader import BatchLoader
 from ..nn.checkpoint import (
     TrainerCheckpoint,
@@ -30,8 +38,11 @@ from ..nn.network import MLP
 from ..nn.optim import Optimizer, get_optimizer
 from ..obs import NULL_RECORDER, Recorder
 from ..obs.counters import (
+    BACKEND_USED_PREFIX,
     FLOPS_ACTUAL,
     FLOPS_DENSE,
+    MEM_GATHER_BYTES,
+    MEM_SCATTER_BYTES,
     OPT_DENSE_UPDATES,
     OPT_LAZY_UPDATE_COLS,
     OPT_LAZY_UPDATE_HITS,
@@ -136,6 +147,15 @@ class Trainer:
         instrumentation site is a no-op and training is bitwise
         identical to the uninstrumented code (enforced by
         ``tests/obs/test_noop.py``).
+    compute_backend:
+        Per-trainer compute-backend override — a registered name
+        (``"reference"``, ``"fast"``, ``"threaded"``) or a
+        :class:`~repro.backend.ComputeBackend` instance.  ``None``
+        (default) dispatches to the process-wide active backend at call
+        time.  With a live recorder the backend is pinned at
+        construction and wrapped in an
+        :class:`~repro.backend.InstrumentedBackend`, so traced runs
+        attribute wall-clock and FLOPs to individual kernels.
     """
 
     name = "base"
@@ -147,15 +167,45 @@ class Trainer:
         optimizer="sgd",
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        compute_backend: Union[str, ComputeBackend, None] = None,
     ):
         self.net = network
         self.optimizer: Optimizer = get_optimizer(optimizer, lr)
         self.loss_fn = NLLLoss()
         self.rng = np.random.default_rng(seed)
         self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
+        backend = resolve_backend(compute_backend)
+        if self.obs.enabled:
+            # Pin the backend at construction so per-kernel timings and
+            # FLOP counters land in this trainer's recorder.
+            backend = InstrumentedBackend(
+                backend if backend is not None else active_backend(), self.obs
+            )
+        self.compute_backend = backend
         self._probes: Optional[ProbeManager] = None
         self._t_fwd = 0.0
         self._t_bwd = 0.0
+
+    # ------------------------------------------------------------------
+    # compute-backend dispatch
+    # ------------------------------------------------------------------
+    def _backend(self):
+        """The backend this trainer's kernel calls should use."""
+        if self.compute_backend is not None:
+            return self.compute_backend
+        return active_backend()
+
+    def _backend_scope(self):
+        """Context manager activating this trainer's backend (if any).
+
+        Wrapped around :meth:`fit` and :meth:`predict` so layer-level
+        products (which dispatch via
+        :func:`repro.backend.active_backend`) see the per-trainer
+        override; a no-op when no override is configured.
+        """
+        if self.compute_backend is None:
+            return nullcontext()
+        return use_backend(self.compute_backend)
 
     # ------------------------------------------------------------------
     # quality probes (read-only; see repro.obs.probes)
@@ -265,7 +315,7 @@ class Trainer:
         """
         if not self.obs.enabled:
             return
-        dense = actual = 0
+        dense = actual = gather = scatter = 0
         for i, layer in enumerate(self.net.layers):
             k = int(kept[i])
             dense += gemm_flops(batch, layer.n_in, layer.n_out)  # forward
@@ -275,8 +325,22 @@ class Trainer:
             if i > 0:  # delta propagation
                 dense += gemm_flops(batch, layer.n_out, layer.n_in)
                 actual += gemm_flops(batch, k, layer.n_in)
+            if k < layer.n_out:
+                # Subset-kernel memory traffic (8-byte elements): the
+                # active column block W[:, cols] is gathered for the
+                # forward product and again for delta propagation, and
+                # the sparse update scatters the same block back.  This
+                # traffic is what flops.actual cannot see — the
+                # FLOP-vs-wallclock gap trace-report surfaces.
+                block = 8 * layer.n_in * k
+                gather += 2 * block
+                scatter += block
         self.obs.add(FLOPS_DENSE, dense)
         self.obs.add(FLOPS_ACTUAL, actual)
+        if gather:
+            self.obs.add(MEM_GATHER_BYTES, gather)
+        if scatter:
+            self.obs.add(MEM_SCATTER_BYTES, scatter)
 
     # ------------------------------------------------------------------
     # checkpoint capture / restore
@@ -497,7 +561,9 @@ class Trainer:
                 )
             if ckpt.stopped_early or start_epoch >= epochs:
                 return history
-        with self.obs.span("fit"):
+        if self.obs.enabled:
+            self.obs.add(BACKEND_USED_PREFIX + self._backend().name)
+        with self._backend_scope(), self.obs.span("fit"):
             for epoch in range(start_epoch, epochs):
                 if lr_schedule is not None:
                     self.optimizer.lr = float(lr_schedule(epoch))
@@ -582,7 +648,8 @@ class Trainer:
         The default is the exact forward pass; methods whose *inference*
         also samples (ALSH-approx) override this.
         """
-        return self.net.predict(x)
+        with self._backend_scope():
+            return self.net.predict(x)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Accuracy of :meth:`predict` on the given split."""

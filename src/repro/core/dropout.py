@@ -54,9 +54,15 @@ class DropoutTrainer(Trainer):
         min_active: int = 1,
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        compute_backend=None,
     ):
         super().__init__(
-            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+            network,
+            lr=lr,
+            optimizer=optimizer,
+            seed=seed,
+            recorder=recorder,
+            compute_backend=compute_backend,
         )
         if not 0.0 < keep_prob <= 1.0:
             raise ValueError(f"keep_prob must be in (0, 1], got {keep_prob}")

@@ -40,6 +40,7 @@ from ..obs import Recorder
 from ..obs.counters import (
     FLOPS_ACTUAL,
     FLOPS_DENSE,
+    MEM_GATHER_BYTES,
     SAMPLER_ROWS_KEPT,
     SAMPLER_ROWS_POOL,
     gemm_flops,
@@ -84,9 +85,15 @@ class MCApproxTrainer(Trainer):
         approximate_forward: bool = False,
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        compute_backend=None,
     ):
         super().__init__(
-            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+            network,
+            lr=lr,
+            optimizer=optimizer,
+            seed=seed,
+            recorder=recorder,
+            compute_backend=compute_backend,
         )
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
@@ -120,9 +127,16 @@ class MCApproxTrainer(Trainer):
             self.obs.add(SAMPLER_ROWS_POOL, int(inner))
             self.obs.add(FLOPS_DENSE, gemm_flops(a.shape[0], inner, b.shape[1]))
             self.obs.add(FLOPS_ACTUAL, gemm_flops(a.shape[0], idx.size, b.shape[1]))
+            # The estimator gathers a (m, keep) slice of ``a`` and a
+            # (keep, n) row block of ``b`` — byte traffic flops.actual
+            # cannot see (8-byte elements).
+            self.obs.add(
+                MEM_GATHER_BYTES,
+                8 * int(idx.size) * (int(a.shape[0]) + int(b.shape[1])),
+            )
         if idx.size == 0:
             return np.zeros((a.shape[0], b.shape[1]))
-        return (a[:, idx] * scales) @ b[idx, :]
+        return self._backend().sampled_matmul(a, b, idx, scales)
 
     def _node_budget(self, inner: int) -> int:
         budget = max(self.min_node_samples, int(round(self.node_frac * inner)))

@@ -49,9 +49,15 @@ class TopKApproxTrainer(Trainer):
         active_frac: float = 0.25,
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        compute_backend=None,
     ):
         super().__init__(
-            network, lr=lr, optimizer=optimizer, seed=seed, recorder=recorder
+            network,
+            lr=lr,
+            optimizer=optimizer,
+            seed=seed,
+            recorder=recorder,
+            compute_backend=compute_backend,
         )
         if not 0.0 < active_frac <= 1.0:
             raise ValueError(f"active_frac must be in (0, 1], got {active_frac}")
@@ -62,7 +68,7 @@ class TopKApproxTrainer(Trainer):
         """Exact top-k columns by |⟨a_prev, W·j⟩| — the MIPS oracle."""
         layer = self.net.layers[layer_idx]
         keep = max(1, int(round(self.active_frac * layer.n_out)))
-        scores = np.abs(a_prev @ layer.W)
+        scores = np.abs(self._backend().matmul(a_prev, layer.W))
         top = np.argpartition(-scores, keep - 1)[:keep]
         top.sort()
         return top
@@ -81,6 +87,7 @@ class TopKApproxTrainer(Trainer):
     def _train_one(self, x: np.ndarray, y: int) -> float:
         layers = self.net.layers
         act = self.net.hidden_activation
+        backend = self._backend()
 
         with self._time_forward():
             active_sets: List[np.ndarray] = []
@@ -90,31 +97,31 @@ class TopKApproxTrainer(Trainer):
             for i in range(self.n_hidden):
                 cand = self._select_active(i, a_prev)
                 active_sets.append(cand)
-                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                z_c = backend.matmul_cols(a_prev, layers[i].W, layers[i].b, cand)
                 z_actives.append(z_c)
                 a_full = np.zeros(layers[i].n_out)
                 a_full[cand] = act.forward(z_c)
                 acts.append(a_full)
                 a_prev = a_full
-            logits = a_prev @ layers[-1].W + layers[-1].b
+            logits = backend.matmul_add_bias(a_prev, layers[-1].W, layers[-1].b)
             logp = LogSoftmax().forward(logits.reshape(1, -1))[0]
             loss = float(-logp[y])
 
         with self._time_backward():
             delta = np.exp(logp)
             delta[y] -= 1.0
-            da = layers[-1].W @ delta
-            g_w = np.outer(acts[-1], delta)
+            da = backend.matmul(layers[-1].W, delta)
+            g_w = backend.grad_cols(acts[-1], delta)
             self._update(("W", self.n_hidden), layers[-1].W, g_w)
             self._update(("b", self.n_hidden), layers[-1].b, delta)
             for i in range(self.n_hidden - 1, -1, -1):
                 cand = active_sets[i]
                 delta_c = da[cand] * act.derivative(z_actives[i])
-                g_w_cols = np.outer(acts[i], delta_c)
+                g_w_cols = backend.grad_cols(acts[i], delta_c)
                 self._update(("W", i), layers[i].W, g_w_cols, index=cand)
                 self._update(("b", i), layers[i].b, delta_c, index=cand)
                 if i > 0:
-                    da = layers[i].W[:, cand] @ delta_c
+                    da = backend.backprop_cols(delta_c, layers[i].W, cand)
         if self.obs.enabled:
             # The selector itself is exact MIPS (a full product), so
             # flops.actual understates the oracle's true cost — that is the
@@ -165,16 +172,17 @@ class TopKApproxTrainer(Trainer):
         x = np.atleast_2d(np.asarray(x, dtype=float))
         layers = self.net.layers
         act = self.net.hidden_activation
+        backend = self._backend()
         out = np.empty(x.shape[0], dtype=int)
         for s in range(x.shape[0]):
             a_prev = x[s]
             for i in range(self.n_hidden):
                 cand = self._select_active(i, a_prev)
-                z_c = a_prev @ layers[i].W[:, cand] + layers[i].b[cand]
+                z_c = backend.matmul_cols(a_prev, layers[i].W, layers[i].b, cand)
                 a_full = np.zeros(layers[i].n_out)
                 a_full[cand] = act.forward(z_c)
                 a_prev = a_full
-            logits = a_prev @ layers[-1].W + layers[-1].b
+            logits = backend.matmul_add_bias(a_prev, layers[-1].W, layers[-1].b)
             out[s] = int(np.argmax(logits))
         return out
 

@@ -22,6 +22,11 @@ class ExperimentConfig:
 
     ``method_kwargs`` are forwarded to the trainer constructor (beyond
     ``lr``/``optimizer``/``seed``, which have their own fields).
+
+    ``backend`` selects the compute backend for the run (``None`` uses
+    the process default, see :mod:`repro.backend`); it is part of the
+    config identity and of every serialised result record, so
+    mixed-backend sweeps stay distinguishable on resume.
     """
 
     method: str = "standard"
@@ -34,6 +39,7 @@ class ExperimentConfig:
     lr: float = 1e-3
     optimizer: str = "sgd"
     seed: int = 0
+    backend: Optional[str] = None
     method_kwargs: Dict = field(default_factory=dict)
 
     def __post_init__(self):

@@ -14,6 +14,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backend import active_backend
+
 __all__ = [
     "SignedRandomProjection",
     "FusedSRP",
@@ -70,7 +72,7 @@ class SignedRandomProjection:
             raise ValueError(
                 f"expected vectors of dim {self.dim}, got {vectors.shape[1]}"
             )
-        return (vectors @ self.planes) >= 0.0
+        return active_backend().matmul(vectors, self.planes) >= 0.0
 
     def hash(self, vectors: np.ndarray) -> np.ndarray:
         """Integer bucket ids in ``[0, 2^K)`` for a batch of vectors."""
@@ -127,7 +129,7 @@ class FusedSRP:
             raise ValueError(
                 f"expected vectors of dim {self.dim}, got {vectors.shape[1]}"
             )
-        bits = (vectors @ self.planes) >= 0.0  # the one GEMM
+        bits = active_backend().matmul(vectors, self.planes) >= 0.0  # the one GEMM
         return pack_bits(bits.reshape(vectors.shape[0], self.n_fns, self.n_bits))
 
 

@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import active_backend
+
 __all__ = [
     "im2col",
     "col2im",
@@ -50,18 +52,7 @@ def im2col(
     n, c, h, w = x.shape
     out_h = _out_size(h, field, stride, pad)
     out_w = _out_size(w, field, stride, pad)
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    # Gather all window offsets with stride tricks-free fancy indexing.
-    i0 = np.repeat(np.arange(field), field)
-    j0 = np.tile(np.arange(field), field)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(1, -1) + i1.reshape(-1, 1)  # (out_h*out_w, field*field)
-    j = j0.reshape(1, -1) + j1.reshape(-1, 1)
-    # windows: (n, c, out_h*out_w, field*field)
-    windows = x[:, :, i, j]
-    cols = windows.transpose(0, 2, 1, 3).reshape(n * out_h * out_w, c * field * field)
+    cols = active_backend().im2col(x, field, stride, pad, out_h, out_w)
     return cols, (out_h, out_w)
 
 
@@ -73,21 +64,12 @@ def col2im(
     pad: int = 0,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col` — scatter-add columns back to an image."""
-    n, c, h, w = x_shape
+    h, w = x_shape[2], x_shape[3]
     out_h = _out_size(h, field, stride, pad)
     out_w = _out_size(w, field, stride, pad)
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
-    i0 = np.repeat(np.arange(field), field)
-    j0 = np.tile(np.arange(field), field)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(1, -1) + i1.reshape(-1, 1)
-    j = j0.reshape(1, -1) + j1.reshape(-1, 1)
-    windows = cols.reshape(n, out_h * out_w, c, field * field).transpose(0, 2, 1, 3)
-    np.add.at(padded, (slice(None), slice(None), i, j), windows)
-    if pad > 0:
-        return padded[:, :, pad:-pad, pad:-pad]
-    return padded
+    return active_backend().col2im(
+        cols, x_shape, field, stride, pad, out_h, out_w
+    )
 
 
 class Conv2D:
@@ -119,7 +101,7 @@ class Conv2D:
         """Convolve a NCHW batch; caches intermediates for backward."""
         cols, (out_h, out_w) = im2col(x, self.field, self.stride, self.pad)
         k = self.kernels.reshape(self.kernels.shape[0], -1)  # (out_c, fan_in)
-        out = cols @ k.T + self.bias  # (n*oh*ow, out_c)
+        out = active_backend().matmul_add_bias(cols, k.T, self.bias)
         n = x.shape[0]
         out = out.reshape(n, out_h * out_w, -1).transpose(0, 2, 1)
         out = out.reshape(n, -1, out_h, out_w)
@@ -134,9 +116,12 @@ class Conv2D:
         n, out_c, out_h, out_w = grad_out.shape
         g = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, out_c)
         k = self.kernels.reshape(out_c, -1)
-        self.grad_kernels = (g.T @ cols).reshape(self.kernels.shape)
+        backend = active_backend()
+        self.grad_kernels = backend.grad_cols(g, cols).reshape(
+            self.kernels.shape
+        )
         self.grad_bias = g.sum(axis=0)
-        grad_cols = g @ k
+        grad_cols = backend.matmul(g, k)
         return col2im(grad_cols, x_shape, self.field, self.stride, self.pad)
 
     def params_and_grads(self):

@@ -12,7 +12,10 @@ the handful of primitive products the sampling-based trainers need:
 
 All sampling *policy* (which columns/rows, with what probability, how the
 result is scaled) lives in :mod:`repro.core`; keeping the mechanics here lets
-every method share one well-tested implementation.
+every method share one well-tested implementation.  The products
+themselves execute on the active compute backend
+(:func:`repro.backend.active_backend`) — the layer stays the single
+place that knows *which* product to take, the backend decides *how*.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import active_backend
 from .init import get_initializer
 
 __all__ = ["DenseLayer"]
@@ -59,7 +63,7 @@ class DenseLayer:
     # ------------------------------------------------------------------
     def forward(self, a_prev: np.ndarray) -> np.ndarray:
         """Exact pre-activations for a batch: ``a_prev @ W + b``."""
-        return a_prev @ self.W + self.b
+        return active_backend().matmul_add_bias(a_prev, self.W, self.b)
 
     def forward_columns(self, a_prev: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Exact pre-activations for the selected output nodes only.
@@ -69,7 +73,7 @@ class DenseLayer:
         is ``O(batch · n_in · |cols|)`` instead of ``O(batch · n_in · n_out)``.
         """
         cols = np.asarray(cols)
-        return a_prev @ self.W[:, cols] + self.b[cols]
+        return active_backend().matmul_cols(a_prev, self.W, self.b, cols)
 
     def forward_rows(
         self,
@@ -85,34 +89,34 @@ class DenseLayer:
         ``scale`` (``1/p_i`` for the Monte-Carlo estimators).
         """
         rows = np.asarray(rows)
-        a_sub = a_prev[:, rows]
-        if scale is not None:
-            a_sub = a_sub * scale
-        return a_sub @ self.W[rows, :] + self.b
+        return active_backend().matmul_rows(a_prev, self.W, self.b, rows, scale)
 
     # ------------------------------------------------------------------
     # backward products
     # ------------------------------------------------------------------
     def weight_gradients(self, a_prev: np.ndarray, delta: np.ndarray):
         """Exact (gW, gb) given dL/dz of this layer."""
-        return a_prev.T @ delta, delta.sum(axis=0)
+        return active_backend().grad_cols(a_prev, delta), delta.sum(axis=0)
 
     def backprop_delta(self, delta: np.ndarray) -> np.ndarray:
         """Propagate dL/dz back to dL/da of the previous layer."""
-        return delta @ self.W.T
+        return active_backend().matmul(delta, self.W.T)
 
     def backprop_delta_columns(
         self, delta_cols: np.ndarray, cols: np.ndarray
     ) -> np.ndarray:
         """Back-propagate through the active columns only."""
         cols = np.asarray(cols)
-        return delta_cols @ self.W[:, cols].T
+        return active_backend().backprop_cols(delta_cols, self.W, cols)
 
     def weight_gradients_columns(
         self, a_prev: np.ndarray, delta_cols: np.ndarray, cols: np.ndarray
     ):
         """Sparse (gW_cols, gb_cols) for the active columns only."""
-        return a_prev.T @ delta_cols, delta_cols.sum(axis=0)
+        return (
+            active_backend().grad_cols(a_prev, delta_cols),
+            delta_cols.sum(axis=0),
+        )
 
     # ------------------------------------------------------------------
     # utilities

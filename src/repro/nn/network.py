@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import active_backend
 from .activations import Activation, LogSoftmax, get_activation
 from .layers import DenseLayer
 from .losses import NLLLoss
@@ -126,10 +127,11 @@ class MLP:
         a = np.atleast_2d(np.asarray(x, dtype=float))
         activations = [a]
         zs: List[np.ndarray] = []
+        backend = active_backend()
         for i, layer in enumerate(self.layers):
             z = layer.forward(a)
             zs.append(z)
-            a = self.activation_for(i).forward(z)
+            a = backend.apply_activation(self.activation_for(i), z)
             if i < len(self.layers) - 1:
                 activations.append(a)
         return ForwardCache(activations, zs, a)

@@ -29,6 +29,9 @@ __all__ = [
     # measured FLOPs
     "FLOPS_DENSE",
     "FLOPS_ACTUAL",
+    # memory traffic of subset kernels
+    "MEM_GATHER_BYTES",
+    "MEM_SCATTER_BYTES",
     # optimiser
     "OPT_DENSE_UPDATES",
     "OPT_LAZY_UPDATE_HITS",
@@ -69,6 +72,16 @@ TRAIN_SAMPLES = "train.samples"
 FLOPS_DENSE = "flops.dense"
 FLOPS_ACTUAL = "flops.actual"
 
+MEM_GATHER_BYTES = "mem.gather_bytes"
+MEM_SCATTER_BYTES = "mem.scatter_bytes"
+
+#: per-backend usage counters are ``backend.used.<name>``; the built-in
+#: names are catalogued below (custom backends should add their own).
+BACKEND_USED_PREFIX = "backend.used."
+#: per-kernel measured FLOPs are ``kernel.flops.<kernel>`` (see
+#: :mod:`repro.backend.instrument` for the kernel list).
+KERNEL_FLOPS_PREFIX = "kernel.flops."
+
 OPT_DENSE_UPDATES = "optim.dense_updates"
 OPT_LAZY_UPDATE_HITS = "optim.lazy_update_hits"
 OPT_LAZY_UPDATE_COLS = "optim.lazy_update_cols"
@@ -102,6 +115,30 @@ COUNTER_CATALOG: Dict[str, str] = {
     TRAIN_SAMPLES: "training samples consumed",
     FLOPS_DENSE: "GEMM FLOPs the exact computation would have cost",
     FLOPS_ACTUAL: "GEMM FLOPs actually executed (dense - actual = skipped)",
+    MEM_GATHER_BYTES: "bytes gathered by subset/sampled kernels (modelled)",
+    MEM_SCATTER_BYTES: "bytes scattered by sparse-column updates (modelled)",
+    BACKEND_USED_PREFIX + "reference": "fit() calls run on the reference backend",
+    BACKEND_USED_PREFIX + "fast": "fit() calls run on the fast (float32) backend",
+    BACKEND_USED_PREFIX + "threaded": "fit() calls run on the threaded backend",
+    KERNEL_FLOPS_PREFIX + "matmul": "GEMM FLOPs executed by the matmul kernel",
+    KERNEL_FLOPS_PREFIX + "matmul_add_bias": (
+        "GEMM FLOPs executed by the matmul_add_bias kernel"
+    ),
+    KERNEL_FLOPS_PREFIX + "matmul_cols": (
+        "GEMM FLOPs executed by the matmul_cols kernel"
+    ),
+    KERNEL_FLOPS_PREFIX + "matmul_rows": (
+        "GEMM FLOPs executed by the matmul_rows kernel"
+    ),
+    KERNEL_FLOPS_PREFIX + "backprop_cols": (
+        "GEMM FLOPs executed by the backprop_cols kernel"
+    ),
+    KERNEL_FLOPS_PREFIX + "grad_cols": (
+        "GEMM FLOPs executed by the grad_cols kernel"
+    ),
+    KERNEL_FLOPS_PREFIX + "sampled_matmul": (
+        "GEMM FLOPs executed by the sampled_matmul kernel"
+    ),
     OPT_DENSE_UPDATES: "full-parameter optimiser updates",
     OPT_LAZY_UPDATE_HITS: "sparse-column (lazy) optimiser updates",
     OPT_LAZY_UPDATE_COLS: "columns advanced across all lazy updates",

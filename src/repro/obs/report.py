@@ -18,6 +18,8 @@ from .counters import (
     LSH_ACTIVE_POOL,
     LSH_CANDIDATES,
     LSH_QUERIES,
+    MEM_GATHER_BYTES,
+    MEM_SCATTER_BYTES,
     SAMPLER_ROWS_KEPT,
     SAMPLER_ROWS_POOL,
 )
@@ -70,6 +72,15 @@ def derived_metrics(snapshot: dict) -> Dict[str, float]:
     if dense:
         out["flops.skipped"] = dense - actual
         out["flops.skipped_frac"] = (dense - actual) / dense
+    # Subset-kernel memory traffic: the gather/scatter bytes that explain
+    # why skipped FLOPs do not translate 1:1 into skipped wall-clock.
+    traffic = counters.get(MEM_GATHER_BYTES, 0) + counters.get(
+        MEM_SCATTER_BYTES, 0
+    )
+    if traffic:
+        out["mem.subset_traffic_bytes"] = traffic
+        if actual:
+            out["mem.bytes_per_actual_flop"] = traffic / actual
     queries = counters.get(LSH_QUERIES, 0)
     if queries:
         out["lsh.candidates_per_query"] = counters.get(LSH_CANDIDATES, 0) / queries

@@ -1,0 +1,131 @@
+"""Shared machinery for the compute-backend tests.
+
+The kernel property tests work capture-replay style: every trainer runs
+once on the tiny dataset with a recording reference backend that stores
+the first few calls to each kernel (operands deep-copied, since layers
+mutate their weights in place).  The captured calls are then replayed
+against every other backend and compared to the recorded reference
+output — bitwise for the float64-preserving backends, within the
+documented tolerance for the float32 fast backend.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.backend import KERNEL_NAMES, ReferenceBackend
+from repro.core import make_trainer
+from repro.nn.conv import Conv2D
+from repro.nn.network import MLP
+
+TRAINER_NAMES = ["standard", "dropout", "adaptive_dropout", "alsh", "mc", "topk"]
+
+#: fixed-seed recipe (matches tests/obs/conftest.py minus one epoch).
+SEED = 123
+LAYER_SIZES = [64, 32, 32, 3]
+BATCH_SIZE = 20
+
+#: calls captured per kernel per trainer — enough to cover the distinct
+#: shapes each trainer produces without storing the whole run.
+CAPTURE_LIMIT = 6
+
+
+class CapturingBackend(ReferenceBackend):
+    """Reference backend that records its first few calls per kernel."""
+
+    name = "capturing"
+
+    def __init__(self, limit: int = CAPTURE_LIMIT):
+        super().__init__()
+        self.calls = []
+        self._counts = {}
+        self._limit = limit
+        for kernel in KERNEL_NAMES:
+            setattr(self, kernel, self._wrap(kernel))
+
+    def _wrap(self, kernel):
+        inner = getattr(super(), kernel)
+
+        def _copy(value):
+            if isinstance(value, np.ndarray):
+                # order="A" keeps F-contiguous operands (e.g. the W.T
+                # passed by backprop_delta) F-contiguous, so the replay
+                # takes the same BLAS code path bitwise.
+                return value.copy(order="A")
+            return copy.deepcopy(value)
+
+        def wrapped(*args, **kwargs):
+            out = inner(*args, **kwargs)
+            if self._counts.get(kernel, 0) < self._limit:
+                self._counts[kernel] = self._counts.get(kernel, 0) + 1
+                self.calls.append(
+                    {
+                        "kernel": kernel,
+                        "args": [_copy(a) for a in args],
+                        "kwargs": {k: _copy(v) for k, v in kwargs.items()},
+                        "expected": np.asarray(out).copy(),
+                    }
+                )
+            return out
+
+        return wrapped
+
+
+def replay(call, backend) -> np.ndarray:
+    """Re-run one captured call on another backend."""
+    return np.asarray(
+        getattr(backend, call["kernel"])(*call["args"], **call["kwargs"])
+    )
+
+
+@pytest.fixture(scope="session")
+def captured_calls(tiny_dataset):
+    """Per-trainer captured kernel calls from one-epoch fixed-seed runs.
+
+    A conv forward/backward pass rides along under the ``conv`` key so
+    the im2col/col2im and conv GEMM kernels are captured too (no trainer
+    exercises them).
+    """
+    out = {}
+    for name in TRAINER_NAMES:
+        backend = CapturingBackend()
+        net = MLP(LAYER_SIZES, seed=SEED)
+        trainer = make_trainer(name, net, seed=SEED, compute_backend=backend)
+        trainer.fit(
+            tiny_dataset.x_train,
+            tiny_dataset.y_train,
+            epochs=1,
+            batch_size=BATCH_SIZE,
+        )
+        out[name] = backend.calls
+
+    from repro.backend import use_backend
+
+    conv_backend = CapturingBackend()
+    with use_backend(conv_backend):
+        rng = np.random.default_rng(SEED)
+        conv = Conv2D(2, 4, field=3, stride=1, pad=1, rng=rng)
+        x = rng.normal(size=(5, 2, 8, 8))
+        z = conv.forward(x)
+        conv.backward(rng.normal(size=z.shape))
+    out["conv"] = conv_backend.calls
+
+    # No trainer drives the row-sampled forward or the DWTA gather, so
+    # capture them from their real call sites directly.
+    extras = CapturingBackend()
+    with use_backend(extras):
+        from repro.lsh.dwta import DensifiedWTA, FusedDWTA
+
+        rng = np.random.default_rng(SEED)
+        layer = MLP(LAYER_SIZES, seed=SEED).layers[0]
+        a_prev = rng.normal(size=(BATCH_SIZE, LAYER_SIZES[0]))
+        rows = np.sort(rng.choice(LAYER_SIZES[0], size=12, replace=False))
+        layer.forward_rows(a_prev, rows, scale=rng.uniform(1.0, 2.0, 12))
+        layer.forward_rows(a_prev, rows)
+        fns = [
+            DensifiedWTA(LAYER_SIZES[0], n_bits=4, rng=rng) for _ in range(2)
+        ]
+        FusedDWTA(fns).hash_all(a_prev)
+    out["extras"] = extras.calls
+    return out

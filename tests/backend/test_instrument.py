@@ -1,0 +1,83 @@
+"""InstrumentedBackend: per-kernel timings, FLOP counters, traced runs."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    FastBackend,
+    InstrumentedBackend,
+    ReferenceBackend,
+)
+from repro.core import make_trainer
+from repro.nn.network import MLP
+from repro.obs import InMemoryRecorder
+from repro.obs.counters import BACKEND_USED_PREFIX, KERNEL_FLOPS_PREFIX
+
+
+@pytest.fixture
+def instrumented():
+    recorder = InMemoryRecorder()
+    return InstrumentedBackend(ReferenceBackend(), recorder), recorder
+
+
+def test_gemm_kernels_record_time_and_flops(instrumented, rng):
+    backend, recorder = instrumented
+    a = rng.normal(size=(20, 64))
+    w = rng.normal(size=(64, 32))
+    backend.matmul(a, w)
+    snap = recorder.snapshot()
+    assert snap["counters"][KERNEL_FLOPS_PREFIX + "matmul"] == 2 * 20 * 64 * 32
+    assert snap["timings"]["kernel.matmul"]["count"] == 1
+
+
+def test_subset_kernels_model_only_the_subset_flops(instrumented, rng):
+    backend, recorder = instrumented
+    a = rng.normal(size=(20, 64))
+    w = rng.normal(size=(64, 32))
+    bias = rng.normal(size=32)
+    cols = np.arange(8)
+    idx = np.arange(10)
+    scales = np.ones(10)
+    backend.matmul_cols(a, w, bias, cols)
+    backend.sampled_matmul(a, w, idx, scales)
+    counters = recorder.snapshot()["counters"]
+    assert counters[KERNEL_FLOPS_PREFIX + "matmul_cols"] == 2 * 20 * 64 * 8
+    assert counters[KERNEL_FLOPS_PREFIX + "sampled_matmul"] == 2 * 20 * 10 * 32
+    assert KERNEL_FLOPS_PREFIX + "matmul" not in counters
+
+
+def test_elementwise_kernels_are_timed_but_not_flop_counted(instrumented, rng):
+    backend, recorder = instrumented
+    a = rng.normal(size=(20, 64))
+    backend.gather_cols(a, np.arange(5))
+    snap = recorder.snapshot()
+    assert snap["timings"]["kernel.gather_cols"]["count"] == 1
+    assert KERNEL_FLOPS_PREFIX + "gather_cols" not in snap["counters"]
+
+
+def test_wrapper_preserves_results_name_and_scratch(rng):
+    inner = ReferenceBackend()
+    backend = InstrumentedBackend(inner, InMemoryRecorder())
+    assert backend.name == "reference"
+    assert backend.scratch is inner.scratch
+    a = rng.normal(size=(4, 6))
+    b = rng.normal(size=(6, 3))
+    assert np.array_equal(backend.matmul(a, b), a @ b)
+
+
+def test_traced_run_attributes_backend_and_kernels(tiny_dataset):
+    recorder = InMemoryRecorder()
+    net = MLP([64, 32, 32, 3], seed=123)
+    trainer = make_trainer(
+        "mc", net, seed=123, recorder=recorder, compute_backend="fast"
+    )
+    trainer.fit(
+        tiny_dataset.x_train, tiny_dataset.y_train, epochs=1, batch_size=20
+    )
+    snap = recorder.snapshot()
+    assert snap["counters"][BACKEND_USED_PREFIX + "fast"] == 1
+    assert snap["counters"][KERNEL_FLOPS_PREFIX + "sampled_matmul"] > 0
+    assert any(k.startswith("kernel.") for k in snap["timings"])
+    # The trainer pinned an instrumented wrapper around the fast backend.
+    assert isinstance(trainer.compute_backend, InstrumentedBackend)
+    assert isinstance(trainer.compute_backend.inner, FastBackend)
