@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Perf-regression benchmark: micro-batched vs batch-1 LSH serving.
+
+Unlike the table/figure benches in this directory (pytest-benchmark
+suites), this is a plain script so CI can run it without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --check
+
+It fires one request stream through a live inference server under four
+configurations (exact vs ALSH top-k head, each batch-1 and
+micro-batched) at the paper serving shape, writes ``BENCH_serve.json``
+at the repo root, and — under ``--check`` — fails if micro-batching
+does not beat batch-1 qps by ``--min-speedup`` for either head or the
+ALSH head's recall@k drops below ``--min-recall``.  See
+``repro.serve.bench`` for the implementation and ``python -m repro
+serve-bench`` for the CLI twin.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.serve.bench import add_arguments, run_cli  # noqa: E402
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_arguments(parser)
+    parser.set_defaults(out=str(_ROOT / "BENCH_serve.json"))
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,14 @@ Commands
     paper's dense and sampled GEMM shapes and write the
     ``BENCH_backend.json`` perf-trajectory file (``--quick``,
     ``--check``).
+``serve``
+    Fire a request stream through the micro-batched inference server
+    (``--topk`` answers through the ALSH head, ``--smoke`` runs the CI
+    serve smoke: nominal load sheds nothing, overload sheds and counts).
+``serve-bench``
+    Benchmark micro-batched vs batch-1 serving with the exact and ALSH
+    heads at the paper shape and write the ``BENCH_serve.json``
+    perf-trajectory file (``--quick``, ``--check``, ``--store``).
 ``trace-report``
     Train one configuration with the observability recorder attached and
     print the span tree, the counter catalogue rollup and the measured
@@ -239,6 +247,37 @@ def build_parser() -> argparse.ArgumentParser:
         "backend-bench", help="benchmark reference vs fast/threaded backends"
     )
     backend_bench.add_arguments(bb)
+
+    serve = sub.add_parser(
+        "serve", help="fire requests through the micro-batched inference server"
+    )
+    serve.add_argument("--model", default=None, metavar="PATH",
+                       help="kind-tagged .npz checkpoint to serve "
+                            "(default: a seeded demo MLP)")
+    serve.add_argument("--version", default=None,
+                       help="pin the checkpoint's content digest")
+    serve.add_argument("--requests", type=int, default=256,
+                       help="number of requests to fire (default 256)")
+    serve.add_argument("--topk", type=int, default=None, metavar="K",
+                       help="serve top-k answers through the ALSH head "
+                            "instead of full log-probability rows")
+    serve.add_argument("--exact", action="store_true",
+                       help="with --topk: use the exact full-GEMM head")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="micro-batch collection window in seconds")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--smoke", action="store_true",
+                       help="run the CI serve smoke (nominal load sheds "
+                            "nothing, overload sheds and counts) and exit")
+
+    from .serve import bench as serve_bench
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="benchmark micro-batched vs batch-1 serving, exact vs ALSH head",
+    )
+    serve_bench.add_arguments(sb)
     return parser
 
 
@@ -683,6 +722,56 @@ def _cmd_backend_bench(args) -> int:
     return backend_bench.run_cli(args)
 
 
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from .obs import InMemoryRecorder
+    from .serve.server import InferenceServer, _fire, run_smoke, seeded_servable
+
+    if args.smoke:
+        return run_smoke(requests=args.requests if args.requests != 256 else 1000,
+                         seed=args.seed)
+    if args.model is not None:
+        from .serve.registry import load_servable
+
+        model = load_servable(args.model, version=args.version)
+    else:
+        model = seeded_servable(seed=args.seed)
+    recorder = InMemoryRecorder()
+    mode = "topk" if args.topk is not None else "logproba"
+    rng = np.random.default_rng(args.seed)
+    xs = rng.normal(size=(args.requests, model.input_dim))
+    with InferenceServer(
+        model,
+        mode=mode,
+        k=args.topk or 10,
+        exact=args.exact,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        max_queue=max(4 * args.requests, 64),
+        recorder=recorder,
+    ) as server:
+        outcome = _fire(server, xs)
+    stats = server.stats()
+    snapshot = recorder.snapshot()
+    print(f"model {model.name}@{model.version} ({model.kind}), mode {mode}")
+    print(
+        f"{outcome['ok']}/{args.requests} served, {outcome['shed']} shed, "
+        f"{outcome['failed']} failed, "
+        f"{snapshot['counters'].get('serve.batches', 0)} batches"
+    )
+    if stats["latency_p50"] is not None:
+        print(f"latency p50 {stats['latency_p50'] * 1e3:.2f}ms, "
+              f"p99 {stats['latency_p99'] * 1e3:.2f}ms")
+    return 0 if outcome["failed"] == 0 else 1
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve import bench as serve_bench
+
+    return serve_bench.run_cli(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -695,6 +784,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "lsh-bench": _cmd_lsh_bench,
         "backend-bench": _cmd_backend_bench,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
         "trace-report": _cmd_trace_report,
         "report": _cmd_report,
         "monitor": _cmd_monitor,

@@ -19,7 +19,7 @@ from ..obs import Recorder
 from .alsh import AsymmetricTransform
 from .tables import LSHIndex
 
-__all__ = ["MIPSIndex", "exact_mips"]
+__all__ = ["MIPSIndex", "exact_mips", "exact_mips_batch"]
 
 
 def exact_mips(data: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
@@ -30,6 +30,23 @@ def exact_mips(data: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
     scores = data @ np.asarray(query, dtype=float).reshape(-1)
     top = np.argpartition(-scores, k - 1)[:k]
     return top[np.argsort(-scores[top])]
+
+
+def exact_mips_batch(data: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`exact_mips`: an ``(m, k)`` array of top-k ids.
+
+    One GEMM over the whole query batch instead of ``m`` GEMVs — the
+    brute-force baseline the serving head's recall probe and bench
+    compare against.
+    """
+    data = np.atleast_2d(data)
+    queries = np.atleast_2d(np.asarray(queries, dtype=float))
+    if not 1 <= k <= data.shape[0]:
+        raise ValueError(f"k must be in [1, {data.shape[0]}], got {k}")
+    scores = queries @ data.T
+    top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    order = np.argsort(-np.take_along_axis(scores, top, axis=1), axis=1)
+    return np.take_along_axis(top, order, axis=1)
 
 
 class MIPSIndex:

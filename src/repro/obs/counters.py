@@ -63,6 +63,22 @@ __all__ = [
     "SAMPLER_ROWS_POOL",
     "SAMPLER_MASK_KEPT",
     "SAMPLER_MASK_POOL",
+    # serving
+    "SERVE_REQUESTS",
+    "SERVE_BATCHES",
+    "SERVE_SHED_QUEUE_FULL",
+    "SERVE_SHED_DEADLINE",
+    "SERVE_HANDLER_ERRORS",
+    "SERVE_HEAD_QUERIES",
+    "SERVE_HEAD_CANDIDATES",
+    "SERVE_HEAD_FALLBACKS",
+    "SERVE_TENANT_HITS",
+    "SERVE_TENANT_MISSES",
+    "SERVE_TENANT_EVICTIONS",
+    "SERVE_QUEUE_DEPTH",
+    "SERVE_LATENCY_P50",
+    "SERVE_LATENCY_P99",
+    "SERVE_TENANT_RESIDENT",
 ]
 
 TRAIN_EPOCHS = "train.epochs"
@@ -107,6 +123,18 @@ SAMPLER_ROWS_KEPT = "sampler.rows_kept"
 SAMPLER_ROWS_POOL = "sampler.rows_pool"
 SAMPLER_MASK_KEPT = "sampler.mask_kept"
 SAMPLER_MASK_POOL = "sampler.mask_pool"
+
+SERVE_REQUESTS = "serve.requests"
+SERVE_BATCHES = "serve.batches"
+SERVE_SHED_QUEUE_FULL = "serve.shed.queue_full"
+SERVE_SHED_DEADLINE = "serve.shed.deadline"
+SERVE_HANDLER_ERRORS = "serve.handler_errors"
+SERVE_HEAD_QUERIES = "serve.head.queries"
+SERVE_HEAD_CANDIDATES = "serve.head.candidates"
+SERVE_HEAD_FALLBACKS = "serve.head.exact_fallbacks"
+SERVE_TENANT_HITS = "serve.tenant.hits"
+SERVE_TENANT_MISSES = "serve.tenant.misses"
+SERVE_TENANT_EVICTIONS = "serve.tenant.evictions"
 
 #: name -> one-line description, rendered in docs and the trace report.
 COUNTER_CATALOG: Dict[str, str] = {
@@ -161,17 +189,37 @@ COUNTER_CATALOG: Dict[str, str] = {
     SAMPLER_ROWS_POOL: "inner-dimension indices that were eligible",
     SAMPLER_MASK_KEPT: "mask entries kept by element-wise dropout masks",
     SAMPLER_MASK_POOL: "mask entries that were eligible",
+    SERVE_REQUESTS: "inference requests accepted by the serving queue",
+    SERVE_BATCHES: "micro-batches dispatched to the model handler",
+    SERVE_SHED_QUEUE_FULL: "requests shed with 429-style overload (queue at depth limit)",
+    SERVE_SHED_DEADLINE: "requests shed because their deadline passed before dispatch",
+    SERVE_HANDLER_ERRORS: "micro-batches whose handler raised (requests failed, server survived)",
+    SERVE_HEAD_QUERIES: "top-k queries answered by the ALSH serving head",
+    SERVE_HEAD_CANDIDATES: "candidate classes scored across all ALSH head queries",
+    SERVE_HEAD_FALLBACKS: "head queries answered exactly (candidate set smaller than k)",
+    SERVE_TENANT_HITS: "tenant head-cache hits (head already resident)",
+    SERVE_TENANT_MISSES: "tenant head-cache misses (head loaded on demand)",
+    SERVE_TENANT_EVICTIONS: "tenant heads evicted by the memsim LRU model",
 }
 
 LSH_BUCKET_MAX_LOAD = "lsh.bucket_max_load"
 LSH_BUCKETS_OCCUPIED = "lsh.buckets_occupied"
 LSH_GARBAGE_FRAC = "lsh.garbage_frac"
 
+SERVE_QUEUE_DEPTH = "serve.queue_depth"
+SERVE_LATENCY_P50 = "serve.latency_p50"
+SERVE_LATENCY_P99 = "serve.latency_p99"
+SERVE_TENANT_RESIDENT = "serve.tenant.resident"
+
 #: gauges (last-value metrics); merged across processes by max.
 GAUGE_CATALOG: Dict[str, str] = {
     LSH_BUCKET_MAX_LOAD: "largest bucket occupancy seen at build time",
     LSH_BUCKETS_OCCUPIED: "occupied buckets across all tables at build",
     LSH_GARBAGE_FRAC: "tombstone/extras fraction of the flat LSH backend at last probe",
+    SERVE_QUEUE_DEPTH: "high-water queue depth of the serving request queue",
+    SERVE_LATENCY_P50: "median request latency in seconds (enqueue to response)",
+    SERVE_LATENCY_P99: "99th-percentile request latency in seconds",
+    SERVE_TENANT_RESIDENT: "tenant heads resident in the cache at last touch",
 }
 
 

@@ -332,6 +332,62 @@ def _overhead_block(snapshot: dict) -> str:
     return "<table>" + "".join(rows) + "</table>"
 
 
+def _serving_block(snapshot: dict) -> str:
+    """The serving rollup: traffic, shedding, head and tenant-cache stats.
+
+    Only rendered when the snapshot actually carries ``serve.*``
+    counters or gauges, so training-only reports are unchanged.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    requests = counters.get("serve.requests", 0)
+    batches = counters.get("serve.batches", 0)
+    rows = [("requests", _fmt(requests)), ("batches", _fmt(batches))]
+    if batches:
+        rows.append(("mean batch size", f"{requests / batches:.2f}"))
+    shed = (counters.get("serve.shed.queue_full", 0),
+            counters.get("serve.shed.deadline", 0))
+    rows.append(("shed (queue full / deadline)", f"{shed[0]} / {shed[1]}"))
+    if counters.get("serve.handler_errors"):
+        rows.append(("handler errors", _fmt(counters["serve.handler_errors"])))
+    if "serve.queue_depth" in gauges:
+        rows.append(("queue depth (high water)", _fmt(gauges["serve.queue_depth"])))
+    for key, label in (("serve.latency_p50", "latency p50"),
+                       ("serve.latency_p99", "latency p99")):
+        if key in gauges:
+            rows.append((label, f"{gauges[key] * 1e3:.2f}ms"))
+    head_queries = counters.get("serve.head.queries", 0)
+    if head_queries:
+        rows.append(("head queries", _fmt(head_queries)))
+        rows.append(("mean candidates / query",
+                     f"{counters.get('serve.head.candidates', 0) / head_queries:.1f}"))
+        rows.append(("head exact fallbacks",
+                     _fmt(counters.get("serve.head.exact_fallbacks", 0))))
+    tenant_total = (counters.get("serve.tenant.hits", 0)
+                    + counters.get("serve.tenant.misses", 0))
+    if tenant_total:
+        rows.append((
+            "tenant cache (hits / misses / evictions)",
+            f"{counters.get('serve.tenant.hits', 0)} / "
+            f"{counters.get('serve.tenant.misses', 0)} / "
+            f"{counters.get('serve.tenant.evictions', 0)}",
+        ))
+        rows.append(("tenant hit rate",
+                     f"{counters.get('serve.tenant.hits', 0) / tenant_total:.2%}"))
+    return "<table>" + "".join(
+        f"<tr><td>{escape(label)}</td><td class=\"num\">{value}</td></tr>"
+        for label, value in rows
+    ) + "</table>"
+
+
+def _has_serving(snapshot: dict) -> bool:
+    return any(
+        name.startswith("serve.")
+        for section in ("counters", "gauges")
+        for name in snapshot.get(section, {})
+    )
+
+
 def render_html_report(
     traces: Sequence[dict],
     title: str = "repro run report",
@@ -381,6 +437,10 @@ def render_html_report(
 
     body.append("<h2>Time series</h2>")
     body.append(_series_block(roll))
+
+    if _has_serving(roll):
+        body.append("<h2>Serving</h2>")
+        body.append(_serving_block(roll))
 
     body.append("<h2>Probe overhead</h2>")
     body.append(_overhead_block(roll))

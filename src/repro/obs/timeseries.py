@@ -40,6 +40,9 @@ __all__ = [
     "SERIES_MC_REL_BIAS",
     "SERIES_MC_REL_STD",
     "SERIES_MC_EXPECTED_ERROR",
+    # serving series (index = batch / probe sequence number)
+    "SERIES_SERVE_BATCH_SIZE",
+    "SERIES_SERVE_HEAD_RECALL",
     # machinery
     "layer_series",
     "split_layer_series",
@@ -65,6 +68,9 @@ SERIES_MC_REL_BIAS = "probe.mc.rel_bias"
 SERIES_MC_REL_STD = "probe.mc.rel_std"
 SERIES_MC_EXPECTED_ERROR = "probe.mc.expected_rel_error"
 
+SERIES_SERVE_BATCH_SIZE = "serve.batch_size"
+SERIES_SERVE_HEAD_RECALL = "serve.head.recall"
+
 #: exact series name -> one-line description (docs + reports render it).
 SERIES_CATALOG: Dict[str, str] = {
     SERIES_EPOCH_LOSS: "mean training loss per epoch",
@@ -73,6 +79,8 @@ SERIES_CATALOG: Dict[str, str] = {
     SERIES_MC_REL_BIAS: "relative Frobenius bias of the MC estimator mean over repeated draws",
     SERIES_MC_REL_STD: "mean relative Frobenius error of single MC draws",
     SERIES_MC_EXPECTED_ERROR: "closed-form expected relative error of one MC draw",
+    SERIES_SERVE_BATCH_SIZE: "requests per dispatched micro-batch, indexed by batch number",
+    SERIES_SERVE_HEAD_RECALL: "ALSH head recall@k vs exact MIPS, indexed by probe invocation",
 }
 
 #: per-layer family base -> description; recorded names are "<base>.l<k>".

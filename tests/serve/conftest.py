@@ -1,0 +1,57 @@
+"""Shared machinery for the serving-layer tests.
+
+The batcher tests run the :class:`MicroBatcher` with ``start_worker=
+False`` and a scripted :class:`FakeClock`, so every deadline and
+batch-formation path is exercised deterministically — no sleeps, no
+thread races.  The fault-injection and e2e tests use the real threaded
+worker on purpose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.server import seeded_servable
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += float(dt)
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture(scope="session")
+def small_model():
+    """A tiny MLP servable: fast forwards, enough classes for top-k."""
+    return seeded_servable(
+        input_dim=12, hidden=16, depth=2, classes=8, seed=3, name="small"
+    )
+
+
+@pytest.fixture(scope="session")
+def golden_model():
+    """The bench-shape golden model the recall acceptance test runs on.
+
+    Session-scoped: the paper-shape trunk plus the narrow-embedding
+    output is the expensive part of the serving tests.
+    """
+    from repro.serve.bench import MODEL_SHAPE
+
+    return seeded_servable(seed=0, name="golden", **MODEL_SHAPE)
+
+
+def echo_handler(batch: np.ndarray) -> np.ndarray:
+    """Identity-with-markers handler: row i answers with its own row."""
+    return np.asarray(batch) * 2.0

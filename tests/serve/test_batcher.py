@@ -1,0 +1,229 @@
+"""Deterministic micro-batcher tests: scripted clock, no worker thread.
+
+Every timing path — batch full, window expiry, whichever-comes-first,
+deadline shedding — is driven by a :class:`FakeClock`, so these tests
+never sleep and never race.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import InMemoryRecorder
+from repro.obs.counters import (
+    SERVE_BATCHES,
+    SERVE_QUEUE_DEPTH,
+    SERVE_REQUESTS,
+    SERVE_SHED_DEADLINE,
+    SERVE_SHED_QUEUE_FULL,
+)
+from repro.obs.timeseries import SERIES_SERVE_BATCH_SIZE, series_points
+from repro.serve.batcher import (
+    BatchCollector,
+    DeadlineExceeded,
+    MicroBatcher,
+    ServeRequest,
+    ServerClosed,
+    ServerOverloaded,
+)
+
+from .conftest import echo_handler
+
+
+def _request(x, t, deadline=None):
+    return ServeRequest(np.asarray(x, dtype=float), t, deadline)
+
+
+class TestBatchCollector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchCollector(0, 0.01)
+        with pytest.raises(ValueError):
+            BatchCollector(4, -1.0)
+
+    def test_empty_never_ready(self):
+        collector = BatchCollector(4, 0.01)
+        assert not collector.ready(1e9)
+        assert collector.wait_time(0.0) is None
+
+    def test_ready_at_max_batch_immediately(self):
+        collector = BatchCollector(2, 10.0)
+        collector.offer(_request([1.0], 0.0))
+        assert not collector.ready(0.0)
+        collector.offer(_request([2.0], 0.0))
+        assert collector.ready(0.0)  # full beats the window
+
+    def test_ready_when_oldest_waited_max_wait(self):
+        collector = BatchCollector(100, 0.5)
+        collector.offer(_request([1.0], 10.0))
+        assert not collector.ready(10.4)
+        assert collector.ready(10.5)
+
+    def test_whichever_comes_first(self):
+        # Window expires before the batch fills...
+        collector = BatchCollector(3, 0.5)
+        collector.offer(_request([1.0], 0.0))
+        collector.offer(_request([2.0], 0.3))
+        assert collector.ready(0.5)
+        # ...and filling the batch beats the window.
+        collector = BatchCollector(2, 0.5)
+        collector.offer(_request([1.0], 0.0))
+        collector.offer(_request([2.0], 0.1))
+        assert collector.ready(0.1)
+
+    def test_wait_time_counts_down_from_oldest(self):
+        collector = BatchCollector(10, 1.0)
+        collector.offer(_request([1.0], 5.0))
+        collector.offer(_request([2.0], 5.8))
+        assert collector.wait_time(5.25) == pytest.approx(0.75)
+        assert collector.wait_time(7.0) == 0.0
+
+    def test_drain_preserves_arrival_order(self):
+        collector = BatchCollector(3, 0.01)
+        for i in range(5):
+            collector.offer(_request([float(i)], 0.0))
+        live, expired = collector.drain(0.0)
+        assert [r.x[0] for r in live] == [0.0, 1.0, 2.0]
+        assert not expired
+        assert len(collector) == 2
+
+    def test_expired_requests_do_not_consume_batch_slots(self):
+        collector = BatchCollector(2, 0.01)
+        collector.offer(_request([0.0], 0.0, deadline=1.0))  # will expire
+        collector.offer(_request([1.0], 0.0))
+        collector.offer(_request([2.0], 0.0, deadline=1.0))  # will expire
+        collector.offer(_request([3.0], 0.0))
+        live, expired = collector.drain(2.0)
+        assert [r.x[0] for r in live] == [1.0, 3.0]
+        assert [r.x[0] for r in expired] == [0.0, 2.0]
+        assert len(collector) == 0
+
+
+class TestMicroBatcherDeterministic:
+    def _batcher(self, clock, recorder=None, **kwargs):
+        kwargs.setdefault("max_batch", 4)
+        kwargs.setdefault("max_wait", 0.010)
+        return MicroBatcher(
+            echo_handler,
+            clock=clock,
+            recorder=recorder or InMemoryRecorder(),
+            start_worker=False,
+            **kwargs,
+        )
+
+    def test_not_ready_before_window_or_fill(self, clock):
+        batcher = self._batcher(clock)
+        batcher.submit([1.0, 2.0])
+        assert batcher.run_once() == 0
+        assert batcher.queue_depth() == 1
+
+    def test_dispatch_at_max_batch(self, clock):
+        batcher = self._batcher(clock)
+        requests = [batcher.submit([float(i)]) for i in range(4)]
+        assert batcher.run_once() == 4
+        for i, request in enumerate(requests):
+            np.testing.assert_array_equal(request.result(0), [2.0 * i])
+
+    def test_dispatch_at_window_expiry(self, clock):
+        batcher = self._batcher(clock)
+        request = batcher.submit([3.0])
+        assert batcher.run_once() == 0
+        clock.advance(0.010)
+        assert batcher.run_once() == 1
+        np.testing.assert_array_equal(request.result(0), [6.0])
+
+    def test_scatter_order_matches_submission_order(self, clock):
+        """Row i of the batched answer lands on the i-th submitter."""
+        batcher = self._batcher(clock, max_batch=8)
+        values = [[float(i), float(-i)] for i in range(8)]
+        requests = [batcher.submit(v) for v in values]
+        batcher.run_once()
+        for value, request in zip(values, requests):
+            np.testing.assert_array_equal(
+                request.result(0), np.asarray(value) * 2.0
+            )
+
+    def test_queue_full_sheds_with_429(self, clock):
+        recorder = InMemoryRecorder()
+        batcher = self._batcher(clock, recorder=recorder, max_queue=2)
+        batcher.submit([1.0])
+        batcher.submit([2.0])
+        with pytest.raises(ServerOverloaded):
+            batcher.submit([3.0])
+        assert recorder.get(SERVE_SHED_QUEUE_FULL) == 1
+        assert recorder.get(SERVE_REQUESTS) == 2
+
+    def test_expired_requests_shed_at_dispatch(self, clock):
+        recorder = InMemoryRecorder()
+        batcher = self._batcher(clock, recorder=recorder)
+        stale = batcher.submit([1.0], deadline=0.005)
+        fresh = batcher.submit([2.0])
+        clock.advance(0.010)
+        assert batcher.run_once() == 2
+        with pytest.raises(DeadlineExceeded):
+            stale.result(0)
+        np.testing.assert_array_equal(fresh.result(0), [4.0])
+        assert recorder.get(SERVE_SHED_DEADLINE) == 1
+
+    def test_default_deadline_applies_to_every_request(self, clock):
+        batcher = self._batcher(clock, default_deadline=0.005)
+        request = batcher.submit([1.0])
+        assert request.deadline == pytest.approx(clock.now + 0.005)
+
+    def test_run_once_force_drains_partial_batch(self, clock):
+        batcher = self._batcher(clock)
+        request = batcher.submit([5.0])
+        assert batcher.run_once() == 0
+        assert batcher.run_once(force=True) == 1
+        np.testing.assert_array_equal(request.result(0), [10.0])
+
+    def test_submit_after_close_rejected(self, clock):
+        batcher = self._batcher(clock)
+        batcher.close()
+        with pytest.raises(ServerClosed):
+            batcher.submit([1.0])
+
+    def test_close_without_drain_fails_pending(self, clock):
+        batcher = self._batcher(clock)
+        request = batcher.submit([1.0])
+        batcher.close(drain=False)
+        with pytest.raises(ServerClosed):
+            request.result(0)
+
+    def test_close_with_drain_serves_pending(self, clock):
+        batcher = self._batcher(clock)
+        request = batcher.submit([1.0])
+        batcher.close(drain=True)
+        np.testing.assert_array_equal(request.result(0), [2.0])
+
+    def test_counters_series_and_gauge(self, clock):
+        recorder = InMemoryRecorder()
+        batcher = self._batcher(clock, recorder=recorder, max_batch=2)
+        for i in range(4):
+            batcher.submit([float(i)])
+            batcher.run_once()
+        snapshot = recorder.snapshot()
+        assert snapshot["counters"][SERVE_REQUESTS] == 4
+        assert snapshot["counters"][SERVE_BATCHES] == 2
+        assert snapshot["gauges"][SERVE_QUEUE_DEPTH] == 2
+        _, sizes = series_points(snapshot, SERIES_SERVE_BATCH_SIZE)
+        assert sizes == [2.0, 2.0]
+
+    def test_latencies_measured_on_injected_clock(self, clock):
+        batcher = self._batcher(clock)
+        batcher.submit([1.0])
+        clock.advance(0.010)
+        batcher.run_once()
+        assert batcher.latencies == [pytest.approx(0.010)]
+
+
+class TestServeRequest:
+    def test_result_timeout(self, clock):
+        request = _request([1.0], clock())
+        with pytest.raises(TimeoutError):
+            request.result(timeout=0.01)
+
+    def test_latency_none_while_pending(self, clock):
+        request = _request([1.0], clock())
+        assert request.latency is None
+        request.set_result("ok", clock() + 1.5)
+        assert request.latency == pytest.approx(1.5)

@@ -1,0 +1,160 @@
+"""Fault injection: crashing and slow handlers degrade, never deadlock.
+
+These tests run the real worker thread on purpose — the guarantee under
+test is that overload and handler failure leave the server *answering*
+(with errors or 429s), not wedged.  Every ``result`` call carries a
+timeout, so a regression shows up as a test failure, not a hang.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import InMemoryRecorder
+from repro.obs.counters import SERVE_HANDLER_ERRORS, SERVE_SHED_QUEUE_FULL
+from repro.serve.batcher import (
+    MicroBatcher,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+)
+
+from .conftest import echo_handler
+
+RESULT_TIMEOUT = 10.0
+
+
+class TestCrashingHandler:
+    def test_crash_fails_batch_but_worker_survives(self):
+        calls = {"n": 0}
+
+        def flaky(batch):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("kaboom")
+            return echo_handler(batch)
+
+        recorder = InMemoryRecorder()
+        with MicroBatcher(
+            flaky, max_batch=2, max_wait=0.001, recorder=recorder
+        ) as batcher:
+            first = [batcher.submit([1.0]), batcher.submit([2.0])]
+            for request in first:
+                with pytest.raises(ServeError, match="kaboom"):
+                    request.result(RESULT_TIMEOUT)
+            # The worker must still be alive and serving.
+            second = [batcher.submit([3.0]), batcher.submit([4.0])]
+            np.testing.assert_array_equal(
+                second[0].result(RESULT_TIMEOUT), [6.0]
+            )
+            np.testing.assert_array_equal(
+                second[1].result(RESULT_TIMEOUT), [8.0]
+            )
+        assert recorder.get(SERVE_HANDLER_ERRORS) == 1
+
+    def test_crash_only_fails_its_own_batch(self):
+        def crash_on_marker(batch):
+            if np.any(batch < 0):
+                raise ValueError("poisoned batch")
+            return echo_handler(batch)
+
+        with MicroBatcher(
+            crash_on_marker, max_batch=1, max_wait=0.0
+        ) as batcher:
+            bad = batcher.submit([-1.0])
+            good = batcher.submit([5.0])
+            with pytest.raises(ServeError):
+                bad.result(RESULT_TIMEOUT)
+            np.testing.assert_array_equal(good.result(RESULT_TIMEOUT), [10.0])
+
+
+class TestSlowHandler:
+    def test_overload_sheds_instead_of_queueing_unboundedly(self):
+        def slow(batch):
+            time.sleep(0.02)
+            return echo_handler(batch)
+
+        recorder = InMemoryRecorder()
+        batcher = MicroBatcher(
+            slow, max_batch=4, max_wait=0.001, max_queue=8, recorder=recorder
+        )
+        accepted, shed = [], 0
+        for i in range(200):
+            try:
+                accepted.append(batcher.submit([float(i)]))
+            except ServerOverloaded:
+                shed += 1
+        assert shed > 0, "a 5x-oversubscribed queue must shed"
+        # Every accepted request completes; nothing hangs.
+        for request in accepted:
+            request.result(RESULT_TIMEOUT)
+        batcher.close()
+        assert recorder.get(SERVE_SHED_QUEUE_FULL) == shed
+
+    def test_deadlines_shed_stale_requests_under_slow_handler(self):
+        def slow(batch):
+            time.sleep(0.05)
+            return echo_handler(batch)
+
+        batcher = MicroBatcher(
+            slow, max_batch=1, max_wait=0.0, max_queue=64,
+            default_deadline=0.06,
+        )
+        requests = [batcher.submit([float(i)]) for i in range(8)]
+        outcomes = {"served": 0, "expired": 0}
+        for request in requests:
+            try:
+                request.result(RESULT_TIMEOUT)
+                outcomes["served"] += 1
+            except ServeError:
+                outcomes["expired"] += 1
+        batcher.close()
+        # The head of the line is served fresh; the tail expired instead
+        # of being served stale (8 x 50ms handler vs 60ms deadlines).
+        assert outcomes["served"] >= 1
+        assert outcomes["expired"] >= 1
+        assert outcomes["served"] + outcomes["expired"] == 8
+
+    def test_close_during_slow_batch_drains_cleanly(self):
+        def slow(batch):
+            time.sleep(0.03)
+            return echo_handler(batch)
+
+        batcher = MicroBatcher(slow, max_batch=2, max_wait=0.001)
+        requests = [batcher.submit([float(i)]) for i in range(6)]
+        batcher.close(drain=True)
+        for i, request in enumerate(requests):
+            np.testing.assert_array_equal(
+                request.result(RESULT_TIMEOUT), [2.0 * i]
+            )
+
+    def test_close_without_drain_fails_fast(self):
+        started = threading.Event()
+
+        def slow(batch):
+            started.set()
+            time.sleep(0.05)
+            return echo_handler(batch)
+
+        batcher = MicroBatcher(slow, max_batch=1, max_wait=0.0, max_queue=64)
+        requests = [batcher.submit([float(i)]) for i in range(20)]
+        started.wait(RESULT_TIMEOUT)
+        batcher.close(drain=False)
+        outcomes = {"served": 0, "closed": 0}
+        for request in requests:
+            try:
+                request.result(RESULT_TIMEOUT)
+                outcomes["served"] += 1
+            except ServerClosed:
+                outcomes["closed"] += 1
+        # In-flight work may finish, but the queued tail fails fast
+        # rather than being served after shutdown.
+        assert outcomes["closed"] > 0
+        assert outcomes["served"] + outcomes["closed"] == 20
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(echo_handler, max_batch=2, max_wait=0.001)
+        batcher.close()
+        batcher.close()

@@ -221,3 +221,36 @@ class TestSweepProbeFlag:
         )
         assert code == 2
         assert "--probe-every requires --trace" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.requests == 256
+        assert args.topk is None
+        assert not args.smoke
+
+    def test_serve_seeded_model(self, capsys):
+        assert main(["serve", "--requests", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "model demo@" in out
+        assert "32/32 served, 0 shed, 0 failed" in out
+
+    def test_serve_topk_mode(self, capsys):
+        assert main(["serve", "--requests", "16", "--topk", "3"]) == 0
+        assert "mode topk" in capsys.readouterr().out
+
+    def test_serve_saved_checkpoint(self, capsys, tmp_path):
+        from repro.nn.network import MLP
+        from repro.nn.serialize import save_mlp
+
+        path = tmp_path / "model.npz"
+        save_mlp(MLP([6, 8, 4], seed=0), path)
+        code = main(["serve", "--model", str(path), "--requests", "8"])
+        assert code == 0
+        assert "(mlp), mode logproba" in capsys.readouterr().out
+
+    def test_serve_bench_parser(self):
+        args = build_parser().parse_args(["serve-bench", "--quick", "--check"])
+        assert args.quick and args.check
+        assert args.min_speedup == 2.0
