@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Perf-regression benchmark: continual training on a drifting stream.
+
+Unlike the table/figure benches in this directory (pytest-benchmark
+suites), this is a plain script so CI can run it without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --quick --check
+
+It streams the same drifting prototype workload through three ALSH
+table-maintenance policies — the paper's fixed count-based rebuild
+schedule, drift-triggered rebuilds, and no rebuilds (the decay
+baseline) — writes ``BENCH_stream.json`` at the repo root with
+steady-state samples/sec and recall-under-drift for each, and — under
+``--check`` — fails when the drift policy loses to the count schedule
+on recall or throughput, needs more rebuild events, when recall falls
+below ``--min-recall``, or when the flat backend's garbage fraction is
+not held bounded by the gauge-driven compactor.  See
+``repro.stream.bench`` for the implementation and ``python -m repro
+stream-bench`` for the CLI twin.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.stream.bench import add_arguments, run_cli  # noqa: E402
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_arguments(parser)
+    parser.set_defaults(out=str(_ROOT / "BENCH_stream.json"))
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

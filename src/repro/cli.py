@@ -36,6 +36,15 @@ Commands
     Benchmark micro-batched vs batch-1 serving with the exact and ALSH
     heads at the paper shape and write the ``BENCH_serve.json``
     perf-trajectory file (``--quick``, ``--check``, ``--store``).
+``stream``
+    Train continually on an infinite drifting stream with drift-triggered
+    ALSH rebuilds, gauge-driven compaction and continuous checkpointing
+    (``--smoke`` runs the CI stream smoke: a killed-and-resumed session
+    must be bitwise identical to an uninterrupted one).
+``stream-bench``
+    Benchmark the drift-triggered vs fixed count-based rebuild policies
+    on a drifting stream and write the ``BENCH_stream.json``
+    perf-trajectory file (``--quick``, ``--check``, ``--store``).
 ``trace-report``
     Train one configuration with the observability recorder attached and
     print the span tree, the counter catalogue rollup and the measured
@@ -278,6 +287,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark micro-batched vs batch-1 serving, exact vs ALSH head",
     )
     serve_bench.add_arguments(sb)
+
+    stream = sub.add_parser(
+        "stream", help="train continually on an infinite drifting stream"
+    )
+    stream.add_argument("--batches", type=int, default=500,
+                        help="absolute stream position to train to "
+                             "(default 500; resumes count from a "
+                             "checkpoint when --checkpoint-dir is set)")
+    stream.add_argument("--rebuild", choices=("drift", "count", "none"),
+                        default="drift",
+                        help="table maintenance policy (default drift)")
+    stream.add_argument("--drift-threshold", type=float, default=0.05,
+                        help="relative column-drift threshold that "
+                             "triggers a re-hash (default 0.05)")
+    stream.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint continuously into DIR and resume "
+                             "from it if a checkpoint exists")
+    stream.add_argument("--checkpoint-every", type=int, default=100,
+                        help="batches between checkpoints (default 100)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--smoke", action="store_true",
+                        help="run the CI stream smoke (kill-resume "
+                             "bitwise equality) and exit")
+
+    from .stream import bench as stream_bench
+
+    stb = sub.add_parser(
+        "stream-bench",
+        help="benchmark drift-triggered vs count-based rebuilds on a "
+             "drifting stream",
+    )
+    stream_bench.add_arguments(stb)
     return parser
 
 
@@ -772,6 +813,39 @@ def _cmd_serve_bench(args) -> int:
     return serve_bench.run_cli(args)
 
 
+def _cmd_stream(args) -> int:
+    from .stream import make_stream_trainer, run_smoke
+
+    if args.smoke:
+        return run_smoke(seed=args.seed)
+    st = make_stream_trainer(
+        rebuild=args.rebuild,
+        drift_threshold=args.drift_threshold,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        seed=args.seed,
+    )
+    summary = st.run(args.batches, verbose=True)
+    acc = summary["eval_history"][-1][1] if summary["eval_history"] else None
+    print(
+        f"stream: {summary['batches']} batches "
+        f"({summary['trained_batches']} this session, "
+        f"{summary['samples_per_s']:.0f} samples/s), "
+        f"policy {summary['rebuild_mode']}, "
+        f"{summary['rebuilds']} rebuilds, "
+        f"{summary['compactions']} compactions, "
+        f"{summary['checkpoints']} checkpoints"
+        + (f", acc {acc:.3f}" if acc is not None else "")
+    )
+    return 0
+
+
+def _cmd_stream_bench(args) -> int:
+    from .stream import bench as stream_bench
+
+    return stream_bench.run_cli(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -786,6 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "backend-bench": _cmd_backend_bench,
         "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
+        "stream": _cmd_stream,
+        "stream-bench": _cmd_stream_bench,
         "trace-report": _cmd_trace_report,
         "report": _cmd_report,
         "monitor": _cmd_monitor,

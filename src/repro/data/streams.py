@@ -124,6 +124,45 @@ class DriftingStream:
         )
         return x, labels
 
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Tuple[dict, dict]:
+        """Mutable stream state as ``(meta, arrays)`` for checkpointing.
+
+        Captures the generator state, drift position and batch count;
+        the static parameters (dim, drift rate, noise, …) are *not*
+        captured — the restoring stream must be constructed with the
+        same ones.  A restored stream emits exactly the batches the
+        saved one would have (``eval_batch`` draws from the same rng, so
+        evaluation cadence is part of the reproduced trajectory).
+        """
+        meta = {
+            "rng_state": self.rng.bit_generator.state,
+            "batches_emitted": int(self.batches_emitted),
+        }
+        arrays = {
+            "protos": self._protos.copy(),
+            "targets": self._targets.copy(),
+        }
+        return meta, arrays
+
+    def load_state_dict(self, meta: dict, arrays: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        protos = np.asarray(arrays["protos"], dtype=float)
+        targets = np.asarray(arrays["targets"], dtype=float)
+        expect = (self.n_classes, self.dim)
+        if protos.shape != expect or targets.shape != expect:
+            raise ValueError(
+                f"stream state shaped {protos.shape}/{targets.shape}, "
+                f"expected {expect} — was the stream built with the same "
+                "dim/n_classes?"
+            )
+        self.rng.bit_generator.state = meta["rng_state"]
+        self.batches_emitted = int(meta["batches_emitted"])
+        self._protos = protos
+        self._targets = targets
+
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         while True:
             yield self.next_batch()

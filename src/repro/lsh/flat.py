@@ -93,8 +93,12 @@ class FlatHashTables:
         dict backend's so that identical seeds give identical tables.
     compact_garbage_frac:
         Re-pack a table's CSR snapshot when its dead entries exceed this
-        fraction of its live items (plus a small absolute floor so tiny
-        tables don't compact on every update).
+        fraction of its live items.  The fraction is honoured at every
+        table size — small tables compact after proportionally few
+        updates (cheap, they are small), so ``garbage_fraction`` stays
+        bounded by roughly ``frac / (1 + frac)`` under sustained churn.
+        A freshly built table starts from a clean CSR with zero garbage,
+        which is the only place an absolute floor ever applied.
     """
 
     def __init__(self, fns: Sequence, compact_garbage_frac: float = 0.5):
@@ -130,6 +134,7 @@ class FlatHashTables:
         self._extra_gcodes: List[List[np.ndarray]] = [[] for _ in range(L)]
         self._extra_len = [0] * L
         self._stale = [0] * L
+        self._live = [0] * L
         self._fused_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._fused_extras: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
@@ -160,6 +165,7 @@ class FlatHashTables:
         self._extra_gcodes[t] = []
         self._extra_len[t] = 0
         self._stale[t] = 0
+        self._live[t] = int(items.size)
         self._fused_csr = None
         self._fused_extras = None
         self.compactions += 1
@@ -257,22 +263,42 @@ class FlatHashTables:
         if int(ids.max()) >= self.n_slots:
             self._grow(int(ids.max()) + 1)
         gcodes = self.bank.hash_all(vectors) + self._code_base[None, :]
-        for t in range(self.n_tables):
-            old = self.item_gcode[t, ids]
-            changed = old != gcodes[:, t]
-            if not changed.any():
-                continue
-            moved, new_codes = ids[changed], gcodes[changed, t]
-            self.item_gcode[t, moved] = new_codes
-            self._extra_items[t].append(moved)
-            self._extra_gcodes[t].append(new_codes)
-            self._extra_len[t] += moved.size
-            self._stale[t] += int(np.count_nonzero(changed & (old >= 0)))
-            self._fused_extras = None
-            live = int((self.item_gcode[t] >= 0).sum())
+        new = np.ascontiguousarray(gcodes.T)  # (L, n) — table-major
+        old = self.item_gcode[:, ids]
+        changed = old != new
+        if not changed.any():
+            return
+        # One 2-D scatter updates the ground truth for every table at
+        # once; unchanged entries rewrite their old value, a no-op.
+        self.item_gcode[:, ids] = new
+        self._fused_extras = None
+        fresh = changed & (old < 0)
+        stale = changed & (old >= 0)
+        for t in np.flatnonzero(changed.any(axis=1)):
+            mask = changed[t]
+            self._extra_items[t].append(ids[mask])
+            self._extra_gcodes[t].append(new[t, mask])
+            self._extra_len[t] += int(np.count_nonzero(mask))
+            self._stale[t] += int(np.count_nonzero(stale[t]))
+            self._live[t] += int(np.count_nonzero(fresh[t]))
             garbage = self._stale[t] + self._extra_len[t]
-            if garbage > max(32, self.compact_garbage_frac * live):
+            if garbage > self.compact_garbage_frac * self._live[t]:
                 self._compact(t)
+
+    def compact(self) -> int:
+        """Force-compact every table that holds any garbage.
+
+        Returns the number of tables re-packed.  Exposed so an external
+        policy — e.g. the streaming trainer acting on the
+        ``lsh.garbage_frac`` gauge — can re-pack on its own signal
+        instead of waiting for the per-table threshold.
+        """
+        done = 0
+        for t in range(self.n_tables):
+            if self._stale[t] or self._extra_len[t]:
+                self._compact(t)
+                done += 1
+        return done
 
     def clear(self) -> None:
         """Drop all stored items (hash functions are kept)."""

@@ -105,6 +105,9 @@ class MIPSIndex:
         self.refit_subset_scale = bool(refit_subset_scale)
         self._n_items = 0
         self._data_scale: Optional[float] = None
+        # Times update() had to abandon the cached build-time scale
+        # because an updated vector's norm overflowed it (diagnostics).
+        self.scale_refits = 0
 
     @property
     def data_scale(self) -> Optional[float]:
@@ -126,8 +129,13 @@ class MIPSIndex:
 
         The subset is scaled with the factor cached by the last
         :meth:`build`, so a partial re-hash lands items exactly where a
-        fresh full build would.  With ``refit_subset_scale=True`` the
-        scaling is refit on the subset instead (the reference
+        fresh full build would.  If an updated vector's norm exceeds the
+        build-time maximum, the cached factor would map it beyond the
+        transform's ``scale`` bound U — the asymmetric padding terms are
+        then invalid and recall silently degrades — so the scaling is
+        refit on the subset and the tighter factor is adopted for
+        subsequent updates.  With ``refit_subset_scale=True`` the
+        scaling is always refit on the subset instead (the reference
         implementation's behaviour, biased when the subset's norms are
         unrepresentative).
         """
@@ -138,7 +146,18 @@ class MIPSIndex:
         if ids.size == 0:
             return
         reuse = None if self.refit_subset_scale else self._data_scale
-        transformed, _ = self.transform.transform_data(data, scale=reuse)
+        overflow = False
+        if reuse is not None:
+            max_norm = float(np.sqrt((data * data).sum(axis=1).max()))
+            if max_norm * reuse > self.transform.scale * (1.0 + 1e-12):
+                reuse = None  # cached scale overflows the U bound: refit
+                overflow = True
+        transformed, s = self.transform.transform_data(data, scale=reuse)
+        if overflow:
+            # Adopt the (strictly tighter) refit factor so later updates
+            # of this or smaller-norm columns stay within the bound.
+            self._data_scale = s
+            self.scale_refits += 1
         self.index.update(ids, transformed)
         self._n_items = max(self._n_items, int(ids.max()) + 1)
 
@@ -161,6 +180,10 @@ class MIPSIndex:
     def garbage_fraction(self) -> float:
         """Backend-health stat of the underlying tables (see LSHIndex)."""
         return self.index.garbage_fraction()
+
+    def compact(self) -> int:
+        """Force-compact the underlying tables (flat backend only)."""
+        return self.index.compact()
 
     # ------------------------------------------------------------------
     # checkpoint support

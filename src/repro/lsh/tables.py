@@ -215,6 +215,17 @@ class LSHIndex:
         for table in self.tables:
             table.insert(ids, vectors)
 
+    def compact(self) -> int:
+        """Force-compact the flat backend's tables; no-op on dict.
+
+        Returns the number of tables re-packed.  Lets an external policy
+        (the streaming trainer's garbage-gauge compaction) trigger
+        re-packing instead of the backend's per-table threshold.
+        """
+        if self.flat is not None:
+            return self.flat.compact()
+        return 0
+
     def query(self, vector: np.ndarray, record: bool = True) -> np.ndarray:
         """Union of colliding ids across all L tables, sorted.
 

@@ -63,6 +63,14 @@ __all__ = [
     "SAMPLER_ROWS_POOL",
     "SAMPLER_MASK_KEPT",
     "SAMPLER_MASK_POOL",
+    # streaming
+    "STREAM_BATCHES",
+    "STREAM_SAMPLES",
+    "STREAM_DRIFT_CHECKS",
+    "STREAM_REBUILDS",
+    "STREAM_COMPACTIONS",
+    "STREAM_CHECKPOINTS",
+    "STREAM_EVALS",
     # serving
     "SERVE_REQUESTS",
     "SERVE_BATCHES",
@@ -123,6 +131,14 @@ SAMPLER_ROWS_KEPT = "sampler.rows_kept"
 SAMPLER_ROWS_POOL = "sampler.rows_pool"
 SAMPLER_MASK_KEPT = "sampler.mask_kept"
 SAMPLER_MASK_POOL = "sampler.mask_pool"
+
+STREAM_BATCHES = "stream.batches"
+STREAM_SAMPLES = "stream.samples"
+STREAM_DRIFT_CHECKS = "stream.drift_checks"
+STREAM_REBUILDS = "stream.rebuilds"
+STREAM_COMPACTIONS = "stream.compactions"
+STREAM_CHECKPOINTS = "stream.checkpoints"
+STREAM_EVALS = "stream.evals"
 
 SERVE_REQUESTS = "serve.requests"
 SERVE_BATCHES = "serve.batches"
@@ -189,6 +205,13 @@ COUNTER_CATALOG: Dict[str, str] = {
     SAMPLER_ROWS_POOL: "inner-dimension indices that were eligible",
     SAMPLER_MASK_KEPT: "mask entries kept by element-wise dropout masks",
     SAMPLER_MASK_POOL: "mask entries that were eligible",
+    STREAM_BATCHES: "stream minibatches trained by the online trainer",
+    STREAM_SAMPLES: "streamed samples consumed by the online trainer",
+    STREAM_DRIFT_CHECKS: "drift-detector evaluations over touched columns",
+    STREAM_REBUILDS: "drift-triggered table refreshes (checks that re-hashed columns)",
+    STREAM_COMPACTIONS: "garbage-gauge-forced compactions of the flat backend",
+    STREAM_CHECKPOINTS: "mid-stream checkpoints written",
+    STREAM_EVALS: "held-out evaluations on the current stream distribution",
     SERVE_REQUESTS: "inference requests accepted by the serving queue",
     SERVE_BATCHES: "micro-batches dispatched to the model handler",
     SERVE_SHED_QUEUE_FULL: "requests shed with 429-style overload (queue at depth limit)",

@@ -388,6 +388,51 @@ def _has_serving(snapshot: dict) -> bool:
     )
 
 
+def _streaming_block(snapshot: dict) -> str:
+    """The streaming rollup: stream volume, maintenance and table health.
+
+    Only rendered when the snapshot actually carries ``stream.*``
+    counters or series, so batch-training reports are unchanged.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    batches = counters.get("stream.batches", 0)
+    rows = [("stream batches", _fmt(batches)),
+            ("stream samples", _fmt(counters.get("stream.samples", 0)))]
+    rows.append(("drift checks", _fmt(counters.get("stream.drift_checks", 0))))
+    rows.append(("drift-triggered rebuilds",
+                 _fmt(counters.get("stream.rebuilds", 0))))
+    if counters.get("lsh.rehashed_columns"):
+        rows.append(("columns re-hashed",
+                     _fmt(counters["lsh.rehashed_columns"])))
+    if counters.get("lsh.rehashed_items"):
+        rows.append(("items re-hashed", _fmt(counters["lsh.rehashed_items"])))
+    rows.append(("gauge-driven compactions",
+                 _fmt(counters.get("stream.compactions", 0))))
+    if "lsh.garbage_frac" in gauges:
+        rows.append(("garbage fraction (last gauge)",
+                     f"{gauges['lsh.garbage_frac']:.3f}"))
+    rows.append(("checkpoints written",
+                 _fmt(counters.get("stream.checkpoints", 0))))
+    rows.append(("held-out evals", _fmt(counters.get("stream.evals", 0))))
+    series = snapshot.get("series", {})
+    accuracy = series.get("stream.accuracy")
+    if accuracy:
+        rows.append(("last held-out accuracy", f"{accuracy[-1][1]:.3f}"))
+    return "<table>" + "".join(
+        f"<tr><td>{escape(label)}</td><td class=\"num\">{value}</td></tr>"
+        for label, value in rows
+    ) + "</table>"
+
+
+def _has_streaming(snapshot: dict) -> bool:
+    return any(
+        name.startswith("stream.")
+        for section in ("counters", "series")
+        for name in snapshot.get(section, {})
+    )
+
+
 def render_html_report(
     traces: Sequence[dict],
     title: str = "repro run report",
@@ -441,6 +486,10 @@ def render_html_report(
     if _has_serving(roll):
         body.append("<h2>Serving</h2>")
         body.append(_serving_block(roll))
+
+    if _has_streaming(roll):
+        body.append("<h2>Streaming</h2>")
+        body.append(_streaming_block(roll))
 
     body.append("<h2>Probe overhead</h2>")
     body.append(_overhead_block(roll))

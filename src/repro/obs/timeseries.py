@@ -43,6 +43,10 @@ __all__ = [
     # serving series (index = batch / probe sequence number)
     "SERIES_SERVE_BATCH_SIZE",
     "SERIES_SERVE_HEAD_RECALL",
+    # streaming series (index = stream batch number)
+    "SERIES_STREAM_LOSS",
+    "SERIES_STREAM_ACCURACY",
+    "SERIES_STREAM_GARBAGE",
     # machinery
     "layer_series",
     "split_layer_series",
@@ -71,6 +75,10 @@ SERIES_MC_EXPECTED_ERROR = "probe.mc.expected_rel_error"
 SERIES_SERVE_BATCH_SIZE = "serve.batch_size"
 SERIES_SERVE_HEAD_RECALL = "serve.head.recall"
 
+SERIES_STREAM_LOSS = "stream.loss"
+SERIES_STREAM_ACCURACY = "stream.accuracy"
+SERIES_STREAM_GARBAGE = "stream.garbage_frac"
+
 #: exact series name -> one-line description (docs + reports render it).
 SERIES_CATALOG: Dict[str, str] = {
     SERIES_EPOCH_LOSS: "mean training loss per epoch",
@@ -81,6 +89,9 @@ SERIES_CATALOG: Dict[str, str] = {
     SERIES_MC_EXPECTED_ERROR: "closed-form expected relative error of one MC draw",
     SERIES_SERVE_BATCH_SIZE: "requests per dispatched micro-batch, indexed by batch number",
     SERIES_SERVE_HEAD_RECALL: "ALSH head recall@k vs exact MIPS, indexed by probe invocation",
+    SERIES_STREAM_LOSS: "training loss per streamed minibatch",
+    SERIES_STREAM_ACCURACY: "held-out accuracy on the current stream distribution",
+    SERIES_STREAM_GARBAGE: "flat-backend garbage fraction at compaction checks",
 }
 
 #: per-layer family base -> description; recorded names are "<base>.l<k>".

@@ -93,7 +93,9 @@ class ServeRequest:
         self.completed_at: Optional[float] = None
 
     def expired(self, now: float) -> bool:
-        return self.deadline is not None and now > self.deadline
+        # Inclusive: a request dispatched exactly at its deadline has zero
+        # remaining budget, so it is shed rather than served late.
+        return self.deadline is not None and now >= self.deadline
 
     def set_result(self, value, now: float) -> None:
         self._result = value

@@ -1,0 +1,14 @@
+"""Online continual training over infinite drifting streams.
+
+The paper evaluates sampling-based training batch-offline; this package
+runs it 24/7: :class:`~repro.stream.trainer.StreamTrainer` consumes an
+infinite :class:`~repro.data.streams.DriftingStream`, triggers ALSH
+table refreshes from the :mod:`repro.lsh.drift` detector instead of the
+paper's fixed count schedule, compacts the flat backend's tombstones on
+the ``lsh.garbage_frac`` gauge, and checkpoints continuously so a kill
+at any point resumes bitwise-identically mid-stream.
+"""
+
+from .trainer import StreamTrainer, make_stream_trainer, run_smoke
+
+__all__ = ["StreamTrainer", "make_stream_trainer", "run_smoke"]

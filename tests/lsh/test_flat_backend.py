@@ -164,6 +164,45 @@ class TestFlatHashTables:
         with pytest.raises(ValueError):
             FlatHashTables([])
 
+    def test_tiny_table_garbage_stays_bounded_under_churn(self, rng):
+        """The compaction threshold is a pure fraction of live items.
+
+        The old trigger had a fixed absolute floor (garbage > 32), so a
+        tiny table could accumulate tombstones worth many times its live
+        size before ever compacting.  With 8 live items and
+        ``compact_garbage_frac=0.5`` the fraction must stay bounded by
+        roughly frac/(1+frac) at every point of a long churn sequence.
+        """
+        fns = [SignedRandomProjection(8, 4, np.random.default_rng(7))
+               for _ in range(3)]
+        flat = FlatHashTables(fns, compact_garbage_frac=0.5)
+        flat.build(rng.normal(size=(8, 8)))
+        bound = 0.5 / 1.5 + 0.15  # frac/(1+frac) plus batch-grain slack
+        for _ in range(300):
+            ids = rng.integers(0, 8, size=rng.integers(1, 4))
+            flat.update(np.unique(ids), rng.normal(size=(np.unique(ids).size, 8)))
+            assert flat.garbage_fraction() <= bound
+        assert flat.compactions > 0
+        assert len(flat) == 8
+
+    def test_public_compact_repacks_all_dirty_tables(self, rng):
+        fns = [SignedRandomProjection(8, 4, np.random.default_rng(11))
+               for _ in range(3)]
+        # Huge threshold: nothing compacts on its own.
+        flat = FlatHashTables(fns, compact_garbage_frac=50.0)
+        flat.build(rng.normal(size=(20, 8)))
+        queries = rng.normal(size=(5, 8))
+        for _ in range(10):
+            ids = np.unique(rng.integers(0, 20, size=6))
+            flat.update(ids, rng.normal(size=(ids.size, 8)))
+        assert flat.garbage_fraction() > 0.0
+        before = [flat.query(q).copy() for q in queries]
+        assert flat.compact() > 0
+        assert flat.garbage_fraction() == 0.0
+        assert flat.compact() == 0  # clean tables are left alone
+        for q, expect in zip(queries, before):
+            np.testing.assert_array_equal(flat.query(q), expect)
+
 
 class TestMakeFusedBank:
     def test_mixed_families_rejected(self):

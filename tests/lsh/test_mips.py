@@ -152,6 +152,51 @@ class TestUpdateScaling:
         ):
             np.testing.assert_array_equal(a, b)
 
+    def test_small_update_keeps_cached_scale(self, data, rng):
+        """Updates inside the build-time norm envelope reuse the cache."""
+        index = MIPSIndex(12, seed=5)
+        index.build(data)
+        before = index.data_scale
+        ids = np.arange(4)
+        index.update(ids, data[ids] * 0.5)
+        assert index.scale_refits == 0
+        assert index.data_scale == before
+
+    def test_overflow_update_refits_scale(self, data, rng):
+        """A column growing past the build-time max norm must refit.
+
+        Reusing the cached factor would scale the new vector's norm past
+        the transform's U bound, so its ``‖w‖^{2^i}`` padding terms blow
+        up and dominate the hash codes — the item becomes effectively
+        unfindable by the queries it should win.  update() must detect
+        the overflow, refit on the update subset and adopt the tighter
+        factor.
+        """
+        index = MIPSIndex(12, n_bits=6, n_tables=8, seed=6)
+        index.build(data)
+        before = index.data_scale
+        norms = np.sqrt((data * data).sum(axis=1))
+        giant_id = 7
+        giant = data[int(np.argmax(norms))] * 10.0
+        index.update(np.array([giant_id]), giant[None, :])
+        assert index.scale_refits == 1
+        assert index.data_scale < before  # tighter factor adopted
+        updated = data.copy()
+        updated[giant_id] = giant
+        # The giant column wins the inner product for queries aligned
+        # with it; with valid hash coordinates it must stay retrievable.
+        queries = giant[None, :] + rng.normal(size=(20, 12)) * np.linalg.norm(giant) * 0.1
+        hits = recalled = 0
+        for q in queries:
+            top = exact_mips(updated, q, k=1)
+            if top[0] != giant_id:
+                continue
+            hits += 1
+            if giant_id in index.query(q):
+                recalled += 1
+        assert hits > 10  # the giant really dominates brute-force MIPS
+        assert recalled / hits >= 0.8
+
     def test_refit_subset_scale_restores_old_behaviour(self, data, rng):
         """The ablation flag refits on the subset and (for skewed subsets)
         moves unchanged items — exactly the bug the cache fixes."""

@@ -18,12 +18,17 @@ from repro.obs import NULL_RECORDER
 from .conftest import TRAINER_NAMES
 
 #: sha256 of concatenated (W, b) bytes after the fixed-seed 2-epoch run,
-#: captured before the trainers were instrumented.
+#: captured before the trainers were instrumented.  The "alsh" digest was
+#: re-pinned when ``MIPSIndex.update`` learned to refit its P-transform
+#: scale on norm overflow (the fixed-seed run's weight columns grow past
+#: the build-time max norm, so the bugfix legitimately changes the
+#: trajectory); the re-pin was validated by the relative checks below
+#: (null == traced == probed bytes) holding across the change.
 PRE_INSTRUMENTATION_DIGESTS = {
     "standard": "3e6fa6b3a0fb00ee7e28c1d3853f307c24253500c6b1f514575e443b246e8b13",
     "dropout": "9e02a9390fdfdc2841d3358223140294480e67e3e97fdbac06a4799a787e65c5",
     "adaptive_dropout": "27fa5392491cd965ef86208f2befad4f5dbfcd79acdc7eae53baae4609ef7d16",
-    "alsh": "65378f6009f20455c116a80e90d7575795ac93c702e2ab219b36fc68b3e38fee",
+    "alsh": "bfc3f01081cfac31175e0569e57b5bc55bb1256eaf60d620d7cd4143d0849b41",
     "mc": "590e0810698e3b9e35a4d1a3455bacb4ceba8475de3fc80b20b50ed411f5959c",
     "topk": "881f4a23cbd27ea32290f1091b1d6a8753fc84b35d12e807262f5628edecf3a1",
 }

@@ -86,6 +86,20 @@ class TestBatchCollector:
         assert not expired
         assert len(collector) == 2
 
+    def test_deadline_boundary_is_inclusive_in_drain(self):
+        """A request drained exactly at its deadline is shed, not served.
+
+        Pins the ``now >= deadline`` boundary: at ``now == deadline``
+        the request has zero remaining budget, so serving it would
+        always deliver late.
+        """
+        collector = BatchCollector(4, 0.01)
+        collector.offer(_request([0.0], 0.0, deadline=2.0))
+        collector.offer(_request([1.0], 0.0))
+        live, expired = collector.drain(2.0)  # now == deadline exactly
+        assert [r.x[0] for r in live] == [1.0]
+        assert [r.x[0] for r in expired] == [0.0]
+
     def test_expired_requests_do_not_consume_batch_slots(self):
         collector = BatchCollector(2, 0.01)
         collector.offer(_request([0.0], 0.0, deadline=1.0))  # will expire
@@ -161,6 +175,19 @@ class TestMicroBatcherDeterministic:
         assert batcher.run_once() == 2
         with pytest.raises(DeadlineExceeded):
             stale.result(0)
+        np.testing.assert_array_equal(fresh.result(0), [4.0])
+        assert recorder.get(SERVE_SHED_DEADLINE) == 1
+
+    def test_dispatch_exactly_at_deadline_sheds(self, clock):
+        """now == deadline at dispatch time sheds through the full path."""
+        recorder = InMemoryRecorder()
+        batcher = self._batcher(clock, recorder=recorder)
+        boundary = batcher.submit([1.0], deadline=0.010)
+        fresh = batcher.submit([2.0])
+        clock.advance(0.010)  # window expiry lands exactly on the deadline
+        assert batcher.run_once() == 2
+        with pytest.raises(DeadlineExceeded):
+            boundary.result(0)
         np.testing.assert_array_equal(fresh.result(0), [4.0])
         assert recorder.get(SERVE_SHED_DEADLINE) == 1
 

@@ -254,3 +254,33 @@ class TestServeCommand:
         args = build_parser().parse_args(["serve-bench", "--quick", "--check"])
         assert args.quick and args.check
         assert args.min_speedup == 2.0
+
+
+class TestStreamCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.batches == 500
+        assert args.rebuild == "drift"
+        assert not args.smoke
+
+    def test_stream_short_session(self, capsys):
+        assert main(["stream", "--batches", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "stream: 12 batches" in out
+        assert "policy drift" in out
+
+    def test_stream_resumes_from_checkpoint_dir(self, capsys, tmp_path):
+        assert main(["stream", "--batches", "10",
+                     "--checkpoint-dir", str(tmp_path),
+                     "--checkpoint-every", "5"]) == 0
+        assert main(["stream", "--batches", "20",
+                     "--checkpoint-dir", str(tmp_path),
+                     "--checkpoint-every", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "stream: 20 batches (10 this session" in out
+
+    def test_stream_bench_parser(self):
+        args = build_parser().parse_args(["stream-bench", "--quick", "--check"])
+        assert args.quick and args.check
+        assert args.min_throughput_ratio == 0.8
+        assert args.min_recall == 0.4
