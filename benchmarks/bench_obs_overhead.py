@@ -10,11 +10,17 @@ It trains a paper-shape MLP for a fixed number of batches under four
 instrumentation levels — NullRecorder, NullRecorder with the default
 quality probes attached, InMemoryRecorder, and InMemoryRecorder with
 probes at the default cadence — takes the min over repeats, and writes
-``BENCH_obs.json`` at the repo root.  Under ``--check`` it fails when:
+``BENCH_obs.json`` at the repo root.  It then drives the micro-batched
+inference server through a fixed request load twice — null recorder +
+null tracer vs live recorder + request tracer — to price the serving
+telemetry (latency/queue-wait histograms, request-id minting, trace
+events).  Under ``--check`` it fails when:
 
 * attaching probes under the NullRecorder costs anything measurable
   (probes must short-circuit on ``enabled`` — the no-op guarantee), or
 * probes at the default cadence cost more than 5 % of traced training
+  wall-clock, or
+* serve-side histograms + tracing cost more than 5 % of serving
   wall-clock.
 """
 
@@ -32,17 +38,20 @@ import numpy as np  # noqa: E402
 
 from repro.core.registry import make_trainer  # noqa: E402
 from repro.nn.network import MLP  # noqa: E402
-from repro.obs import InMemoryRecorder  # noqa: E402
+from repro.obs import NULL_RECORDER, InMemoryRecorder, RequestTracer  # noqa: E402
 from repro.obs.probes import (  # noqa: E402
     DEFAULT_PROBE_EVERY,
     ProbeManager,
     default_probes,
 )
+from repro.obs.tracectx import NULL_TRACER  # noqa: E402
+from repro.serve.server import InferenceServer, seeded_servable  # noqa: E402
 
 # Timing noise floor for the "≈ 0" gate: min-of-repeats still jitters a
 # few percent on shared CI runners.
 NULL_TOLERANCE = 0.03
 PROBE_BUDGET_FRAC = 0.05
+SERVE_TELEMETRY_FRAC = 0.05
 
 
 def _make_data(sizes, n_samples, seed):
@@ -75,6 +84,46 @@ def _time_variant(repeats, make_recorder, probe_every, **kw):
     )
 
 
+def _serve_once(model, xs, recorder, tracer):
+    """One deterministic serve pass: requests through run_once dispatch.
+
+    Uses the single-threaded ``start_worker=False`` mode so the timing
+    measures the submit/dispatch/handler path itself, not worker-thread
+    scheduling noise.  The handler is a real model forward at a serving
+    shape heavy enough that per-request telemetry (histogram records,
+    id minting, trace events) is priced against real work.  The model
+    and inputs are built once by the caller — cold-start allocations
+    must not land inside the timed region.
+    """
+    requests = xs.shape[0]
+    server = InferenceServer(
+        model, max_batch=32, max_wait=0.0, max_queue=requests + 1,
+        recorder=recorder, tracer=tracer, start_worker=False,
+    )
+    pending = []
+    start = time.perf_counter()
+    for i in range(requests):
+        pending.append(server.submit(xs[i]))
+        if len(pending) >= 32:
+            server.run_once(force=True)
+            for req in pending:
+                req.result(timeout=5.0)
+            pending.clear()
+    server.run_once(force=True)
+    for req in pending:
+        req.result(timeout=5.0)
+    elapsed = time.perf_counter() - start
+    server.close()
+    return elapsed
+
+
+def _time_serve_variant(repeats, model, xs, make_recorder, make_tracer):
+    return min(
+        _serve_once(model, xs, make_recorder(), make_tracer())
+        for _ in range(repeats)
+    )
+
+
 def run(smoke=False, repeats=3, out=None, check=False):
     if smoke:
         sizes = [64, 256, 256, 10]
@@ -98,10 +147,44 @@ def run(smoke=False, repeats=3, out=None, check=False):
         times[name] = _time_variant(repeats, make_recorder, probe_every, **kw)
         print(f"  {name:<14} {times[name]:.3f}s")
 
+    # Serving telemetry: the paper-shape trunk keeps per-request compute
+    # realistic so the ≤5 % gate prices histograms + tracing fairly.
+    # Timing noise at these durations is dominated by GEMM jitter, so the
+    # gate needs a warm shared model and min-of-many on both sides.
+    if smoke:
+        # ~2.80M MACs/request — matches the full paper shape (~2.79M), so
+        # the smoke ratio prices telemetry against the same per-request
+        # compute the real gate sees.
+        serve_requests = 1500
+        serve_model_kw = dict(input_dim=256, hidden=1536, depth=2, classes=32)
+    else:
+        serve_requests = 3000
+        serve_model_kw = dict(input_dim=784, hidden=1000, depth=3, classes=10)
+    serve_repeats = max(repeats, 5)
+    serve_model = seeded_servable(seed=0, **serve_model_kw)
+    serve_xs = np.random.default_rng(0).standard_normal(
+        (serve_requests, serve_model.input_dim)
+    )
+    serve_variants = {
+        "serve_null": (lambda: NULL_RECORDER, lambda: NULL_TRACER),
+        "serve_telemetry": (InMemoryRecorder, RequestTracer),
+    }
+    _serve_once(  # warm the forward path before anything is timed
+        serve_model, serve_xs[:64], NULL_RECORDER, NULL_TRACER
+    )
+    for name, (make_recorder, make_tracer) in serve_variants.items():
+        times[name] = _time_serve_variant(
+            serve_repeats, serve_model, serve_xs, make_recorder, make_tracer
+        )
+        print(f"  {name:<14} {times[name]:.3f}s")
+
     overhead = {
         "null_probed_vs_null": times["null_probed"] / times["null"] - 1.0,
         "inmem_vs_null": times["inmem"] / times["null"] - 1.0,
         "inmem_probed_vs_inmem": times["inmem_probed"] / times["inmem"] - 1.0,
+        "serve_telemetry_vs_null": (
+            times["serve_telemetry"] / times["serve_null"] - 1.0
+        ),
     }
     for name, frac in overhead.items():
         print(f"  {name:<24} {frac:+.2%}")
@@ -117,9 +200,15 @@ def run(smoke=False, repeats=3, out=None, check=False):
         "repeats": repeats,
         "seconds": times,
         "overhead": overhead,
+        "serve": {
+            "requests": serve_requests,
+            "model": serve_model_kw,
+            "repeats": serve_repeats,
+        },
         "gates": {
             "null_probed_vs_null_max": NULL_TOLERANCE,
             "inmem_probed_vs_inmem_max": PROBE_BUDGET_FRAC,
+            "serve_telemetry_vs_null_max": SERVE_TELEMETRY_FRAC,
         },
     }
     if out:
@@ -140,6 +229,12 @@ def run(smoke=False, repeats=3, out=None, check=False):
                 "default-cadence probes cost "
                 f"{overhead['inmem_probed_vs_inmem']:+.2%} of traced "
                 f"training (budget {PROBE_BUDGET_FRAC:.0%})"
+            )
+        if overhead["serve_telemetry_vs_null"] > SERVE_TELEMETRY_FRAC:
+            failures.append(
+                "serve histograms + request tracing cost "
+                f"{overhead['serve_telemetry_vs_null']:+.2%} of serving "
+                f"wall-clock (budget {SERVE_TELEMETRY_FRAC:.0%})"
             )
         if failures:
             for failure in failures:

@@ -3,10 +3,13 @@
 :class:`InstrumentedBackend` decorates any backend with the
 :mod:`repro.obs` recorder: every kernel call lands one
 ``kernel.<name>`` timing (so ``trace-report`` can attribute wall-clock
-to kernels) and, for the GEMM-family kernels, a ``kernel.flops.<name>``
-counter using the repository's 2-FLOPs-per-MAC convention.  Counters are
-deterministic for a fixed seed — they participate in the golden traces —
-while timings live in the (non-golden) timings section.
+to kernels), one sample in the ``kernel.seconds.<name>`` log-bucket
+histogram (so per-call latency *distributions* survive merging and the
+``/metrics`` scrape, not just totals), and, for the GEMM-family
+kernels, a ``kernel.flops.<name>`` counter using the repository's
+2-FLOPs-per-MAC convention.  Counters are deterministic for a fixed
+seed — they participate in the golden traces — while timings and
+histograms live in the (non-golden) wall-clock sections.
 
 Trainers construct the wrapper themselves when built with a live
 recorder; with the null recorder no wrapper exists and dispatch goes
@@ -19,7 +22,7 @@ import time
 
 import numpy as np
 
-from ..obs.counters import gemm_flops
+from ..obs.counters import KERNEL_SECONDS_PREFIX, gemm_flops
 
 __all__ = ["InstrumentedBackend", "KERNEL_FLOPS_COUNTERS"]
 
@@ -102,6 +105,7 @@ class InstrumentedBackend:
     def _wrap(self, kernel: str, flop_model):
         fn = getattr(self.inner, kernel)
         timing = f"kernel.{kernel}"
+        histogram = KERNEL_SECONDS_PREFIX + kernel
         counter = f"kernel.flops.{kernel}"
         obs = self.obs
 
@@ -110,7 +114,9 @@ class InstrumentedBackend:
             def timed(*args, **kwargs):
                 start = time.perf_counter()
                 out = fn(*args, **kwargs)
-                obs.add_time(timing, time.perf_counter() - start)
+                dt = time.perf_counter() - start
+                obs.add_time(timing, dt)
+                obs.histogram(histogram, dt)
                 return out
 
         else:
@@ -118,7 +124,9 @@ class InstrumentedBackend:
             def timed(*args, **kwargs):
                 start = time.perf_counter()
                 out = fn(*args, **kwargs)
-                obs.add_time(timing, time.perf_counter() - start)
+                dt = time.perf_counter() - start
+                obs.add_time(timing, dt)
+                obs.histogram(histogram, dt)
                 obs.add(counter, int(flop_model(*args, **kwargs)))
                 return out
 

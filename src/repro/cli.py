@@ -61,6 +61,18 @@ Commands
     Tail a live run's JSONL sink and print one rolling summary line per
     record (``--follow`` keeps polling; default prints what is there
     and exits).
+``slo-check``
+    Evaluate a declarative SLO spec (JSON) against a trace store
+    (``--from-store``, snapshots merged) or a live ``/metrics.json``
+    endpoint (``--url``) and exit nonzero when any error budget is
+    burned — the CI gate behind the serve smoke.
+
+Live telemetry rides along: ``serve`` and ``stream`` accept
+``--metrics-port`` (a background ``/metrics`` + ``/healthz`` +
+``/readyz`` exporter), ``serve --store`` records per-request trace
+events, ``trace-report --request <id> --from-store`` reconstructs one
+request's timeline, and ``sweep --metrics-out`` writes a file-based
+Prometheus exposition the executor refreshes per outcome.
 """
 
 from __future__ import annotations
@@ -180,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--probe-every", type=int, default=None,
                        help="attach read-only quality probes every N "
                             "batches (requires --trace)")
+    sweep.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a Prometheus text exposition of the "
+                            "merged sweep trace here, refreshed after "
+                            "every task outcome (file-based scraping)")
 
     theory = sub.add_parser("theory", help="print the §7 error table")
     theory.add_argument("--c", type=float, default=5.0,
@@ -218,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--from-store", metavar="PATH",
                        help="render the traces already stored in this "
                             "JSONL file instead of training")
+    trace.add_argument("--request", metavar="ID", default=None,
+                       help="with --from-store: reconstruct this request "
+                            "id's timeline from the store's request-trace "
+                            "events (written by serve --store)")
 
     report = sub.add_parser(
         "report", help="render a trace JSONL as a single-file HTML report"
@@ -242,6 +262,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "print what is there and exit)")
     monitor.add_argument("--poll", type=float, default=0.5,
                          help="seconds between polls with --follow")
+
+    slo = sub.add_parser(
+        "slo-check",
+        help="evaluate an SLO spec against a trace store or live endpoint",
+    )
+    slo.add_argument("spec", help="JSON SLO spec file (see docs/observability.md)")
+    source = slo.add_mutually_exclusive_group(required=True)
+    source.add_argument("--from-store", metavar="PATH",
+                        help="evaluate against the merged snapshots of "
+                             "this trace JSONL store")
+    source.add_argument("--url", metavar="URL",
+                        help="evaluate against a live exporter's base URL "
+                             "(fetches <url>/metrics.json)")
 
     from .lsh import bench as lsh_bench
 
@@ -279,6 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", action="store_true",
                        help="run the CI serve smoke (nominal load sheds "
                             "nothing, overload sheds and counts) and exit")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="serve /metrics, /healthz and /readyz on this "
+                            "port while requests run (0 picks a free port)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="append the serve trace snapshot and the "
+                            "per-request trace events to this JSONL file")
+    serve.add_argument("--slo", default=None, metavar="SPEC",
+                       help="with --metrics-port: evaluate this SLO spec "
+                            "per scrape and expose live slo.burn.* gauges")
 
     from .serve import bench as serve_bench
 
@@ -310,6 +352,14 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--smoke", action="store_true",
                         help="run the CI stream smoke (kill-resume "
                              "bitwise equality) and exit")
+    stream.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics, /healthz and /readyz on "
+                             "this port while the stream trains "
+                             "(0 picks a free port)")
+    stream.add_argument("--store", default=None, metavar="PATH",
+                        help="append the stream trace snapshot to this "
+                             "JSONL file when the run finishes")
 
     from .stream import bench as stream_bench
 
@@ -450,6 +500,35 @@ def _cmd_trace_report(args) -> int:
         write_trace,
     )
     from .obs.counters import FLOPS_ACTUAL, LSH_CANDIDATES, TRAIN_BATCHES
+
+    if args.request is not None:
+        from .obs import (
+            read_trace_events,
+            reconstruct_request,
+            render_request_timeline,
+            scan_jsonl,
+        )
+
+        if not args.from_store:
+            print("error: --request requires --from-store (request-trace "
+                  "events live in a serve --store file)", file=sys.stderr)
+            return 2
+        try:
+            records, corrupt = scan_jsonl(args.from_store)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if corrupt:
+            print(f"warning: skipped {corrupt} corrupt line(s) in "
+                  f"{args.from_store}", file=sys.stderr)
+        events = read_trace_events(records)
+        try:
+            timeline = reconstruct_request(events, args.request)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(render_request_timeline(timeline))
+        return 0
 
     if args.from_store:
         traces, _ = _load_traces_or_fail(args.from_store)
@@ -660,6 +739,7 @@ def _cmd_sweep(args) -> int:
         retry_timeouts=args.retry_timeouts,
         sink=args.store,
         task_fn=task_fn,
+        metrics_path=args.metrics_out,
     )
     outcomes = executor.run(
         configs, resume=args.resume, reseed=args.reseed, callback=on_outcome
@@ -692,6 +772,8 @@ def _cmd_sweep(args) -> int:
         )
     )
     failed = sum(not o.ok for o in outcomes)
+    if args.metrics_out:
+        print(f"metrics exposition written to {args.metrics_out}")
     if failed:
         print(f"{failed}/{len(outcomes)} tasks failed; "
               f"re-run with --resume to retry them")
@@ -764,14 +846,25 @@ def _cmd_backend_bench(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import time
+
     import numpy as np
 
-    from .obs import InMemoryRecorder
+    from .obs import (
+        NULL_TRACER,
+        InMemoryRecorder,
+        MetricsServer,
+        RequestTracer,
+        trace_record,
+        write_trace,
+    )
     from .serve.server import InferenceServer, _fire, run_smoke, seeded_servable
 
     if args.smoke:
         return run_smoke(requests=args.requests if args.requests != 256 else 1000,
-                         seed=args.seed)
+                         seed=args.seed,
+                         metrics_port=args.metrics_port,
+                         store=args.store)
     if args.model is not None:
         from .serve.registry import load_servable
 
@@ -779,22 +872,57 @@ def _cmd_serve(args) -> int:
     else:
         model = seeded_servable(seed=args.seed)
     recorder = InMemoryRecorder()
+    tracer = RequestTracer(sink=args.store) if args.store else NULL_TRACER
     mode = "topk" if args.topk is not None else "logproba"
     rng = np.random.default_rng(args.seed)
     xs = rng.normal(size=(args.requests, model.input_dim))
-    with InferenceServer(
-        model,
-        mode=mode,
-        k=args.topk or 10,
-        exact=args.exact,
-        max_batch=args.max_batch,
-        max_wait=args.max_wait,
-        max_queue=max(4 * args.requests, 64),
-        recorder=recorder,
-    ) as server:
-        outcome = _fire(server, xs)
+    metrics = None
+    try:
+        with InferenceServer(
+            model,
+            mode=mode,
+            k=args.topk or 10,
+            exact=args.exact,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            max_queue=max(4 * args.requests, 64),
+            recorder=recorder,
+            tracer=tracer,
+        ) as server:
+            snapshot_fn = recorder.snapshot
+            if args.slo:
+                from .obs import attach_burn_gauges, load_slo_spec
+
+                entries = load_slo_spec(args.slo)
+                snapshot_fn = lambda: attach_burn_gauges(  # noqa: E731
+                    recorder.snapshot(), entries
+                )
+            if args.metrics_port is not None:
+                metrics = MetricsServer(
+                    snapshot_fn,
+                    port=args.metrics_port,
+                    ready_fn=lambda: (
+                        (True, "ok")
+                        if server.batcher.queue_depth() < server.batcher.max_queue
+                        else (False, "queue at shed threshold")
+                    ),
+                )
+                print(f"metrics: serving {metrics.url}/metrics")
+            t0 = time.perf_counter()
+            outcome = _fire(server, xs)
+            elapsed = time.perf_counter() - t0
+    finally:
+        if metrics is not None:
+            metrics.close()
     stats = server.stats()
     snapshot = recorder.snapshot()
+    if args.store:
+        tracer.flush()
+        write_trace(
+            args.store,
+            trace_record(snapshot, label=f"serve-{mode}", elapsed=elapsed),
+        )
+        print(f"trace appended to {args.store}")
     print(f"model {model.name}@{model.version} ({model.kind}), mode {mode}")
     print(
         f"{outcome['ok']}/{args.requests} served, {outcome['shed']} shed, "
@@ -818,14 +946,42 @@ def _cmd_stream(args) -> int:
 
     if args.smoke:
         return run_smoke(seed=args.seed)
+    recorder = None
+    metrics = None
+    if args.metrics_port is not None or args.store:
+        from .obs import InMemoryRecorder
+
+        recorder = InMemoryRecorder()
     st = make_stream_trainer(
         rebuild=args.rebuild,
         drift_threshold=args.drift_threshold,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         seed=args.seed,
+        recorder=recorder,
     )
-    summary = st.run(args.batches, verbose=True)
+    if args.metrics_port is not None:
+        from .obs import MetricsServer
+
+        metrics = MetricsServer(recorder.snapshot, port=args.metrics_port)
+        print(f"metrics: serving {metrics.url}/metrics")
+    try:
+        summary = st.run(args.batches, verbose=True)
+    finally:
+        if metrics is not None:
+            metrics.close()
+    if args.store:
+        from .obs import trace_record, write_trace
+
+        write_trace(
+            args.store,
+            trace_record(
+                recorder.snapshot(),
+                label=f"stream-{args.rebuild}",
+                elapsed=summary["elapsed_s"],
+            ),
+        )
+        print(f"trace appended to {args.store}")
     acc = summary["eval_history"][-1][1] if summary["eval_history"] else None
     print(
         f"stream: {summary['batches']} batches "
@@ -838,6 +994,44 @@ def _cmd_stream(args) -> int:
         + (f", acc {acc:.3f}" if acc is not None else "")
     )
     return 0
+
+
+def _cmd_slo_check(args) -> int:
+    from .obs import (
+        evaluate_slos,
+        load_slo_spec,
+        merge_snapshots,
+        render_slo_results,
+    )
+
+    try:
+        entries = load_slo_spec(args.spec)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.from_store:
+        traces, _ = _load_traces_or_fail(args.from_store)
+        if traces is None:
+            return 2
+        snapshot = merge_snapshots([t["snapshot"] for t in traces])
+        source = args.from_store
+    else:
+        import json
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/metrics.json"
+        try:
+            with urlopen(url, timeout=10.0) as resp:
+                snapshot = json.loads(resp.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: could not fetch {url}: {exc}", file=sys.stderr)
+            return 2
+        source = url
+    results = evaluate_slos(snapshot, entries)
+    print(f"SLO check: {args.spec} against {source}")
+    print(render_slo_results(results))
+    return 1 if any(not r.ok for r in results) else 0
 
 
 def _cmd_stream_bench(args) -> int:
@@ -865,6 +1059,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace-report": _cmd_trace_report,
         "report": _cmd_report,
         "monitor": _cmd_monitor,
+        "slo-check": _cmd_slo_check,
     }
     return handlers[args.command](args)
 

@@ -43,7 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..data.datasets import Dataset
-from ..obs import InMemoryRecorder, merge_snapshots
+from ..obs import InMemoryRecorder, merge_snapshots, write_exposition
 from .config import ExperimentConfig
 from .experiment import ExperimentResult, run_experiment
 from .results import result_from_dict, result_to_dict
@@ -357,6 +357,13 @@ class ExperimentExecutor:
         module-level function or an instance of a module-level class, e.g.
         :class:`CheckpointedExperimentTask`).  Defaults to
         :func:`run_experiment_task`.
+    metrics_path:
+        File-based Prometheus exposition: after every terminal outcome
+        (and once more when the sweep drains) the merged trace snapshot
+        across all usable outcomes so far is rendered to this path as
+        text-format metrics (atomic replace, so a scraper — or the
+        textfile collector of a node exporter — never sees a torn file).
+        Sweeps have no port to scrape; the file *is* the endpoint.
     """
 
     #: extra seconds the parent waits past ``timeout`` before declaring a
@@ -372,6 +379,7 @@ class ExperimentExecutor:
         retry_timeouts: bool = False,
         sink: Optional[Union[str, Path, JsonlSink]] = None,
         task_fn: Callable[[Any, Any], Any] = run_experiment_task,
+        metrics_path: Optional[Union[str, Path]] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -390,6 +398,7 @@ class ExperimentExecutor:
             sink = JsonlSink(sink)
         self.sink = sink
         self.task_fn = task_fn
+        self.metrics_path = None if metrics_path is None else Path(metrics_path)
 
     # ------------------------------------------------------------------
     def run(
@@ -443,6 +452,21 @@ class ExperimentExecutor:
         else:
             fresh = list(range(len(tasks)))
 
+        def export_metrics():
+            if self.metrics_path is None:
+                return
+            landed = [o for o in outcomes if o is not None]
+            aggregate = aggregate_traces(landed)
+            snapshot = dict(aggregate) if aggregate else {}
+            # Sweep progress rides along so a scraper can watch a sweep
+            # with untraced tasks (or one that has not finished a task yet).
+            gauges = dict(snapshot.get("gauges", {}))
+            gauges["sweep.tasks"] = float(len(tasks))
+            gauges["sweep.done"] = float(len(landed))
+            gauges["sweep.failed"] = float(sum(not o.ok for o in landed))
+            snapshot["gauges"] = gauges
+            write_exposition(self.metrics_path, snapshot)
+
         def record(i: int, status: str, payload: Any, attempts: int, duration: float):
             outcome = TaskOutcome(
                 index=i,
@@ -468,6 +492,7 @@ class ExperimentExecutor:
                 )
             if callback is not None:
                 callback(outcome)
+            export_metrics()
 
         def record_retry(i: int, attempt: int, error: str):
             if self.sink is not None:
@@ -490,6 +515,7 @@ class ExperimentExecutor:
                     self._run_serial(tasks, fresh, dataset, record, record_retry)
                 else:
                     self._run_pool(pool, tasks, fresh, dataset, record, record_retry)
+        export_metrics()
         return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------

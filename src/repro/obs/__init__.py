@@ -42,7 +42,21 @@ core, ``repro.obs`` itself does not import it — attach probes via
 """
 
 from . import counters
-from .counters import COUNTER_CATALOG, GAUGE_CATALOG, gemm_flops
+from .counters import (
+    COUNTER_CATALOG,
+    GAUGE_CATALOG,
+    HISTOGRAM_CATALOG,
+    HISTOGRAM_PREFIXES,
+    gemm_flops,
+)
+from .export import (
+    MetricsServer,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    write_exposition,
+)
+from .histogram import Histogram, merge_histogram_snapshots
 from .recorder import (
     NULL_RECORDER,
     InMemoryRecorder,
@@ -50,12 +64,29 @@ from .recorder import (
     Recorder,
     merge_snapshots,
 )
+from .slo import (
+    SLOResult,
+    attach_burn_gauges,
+    burn_gauges,
+    evaluate_slos,
+    load_slo_spec,
+    render_slo_results,
+)
+from .tracectx import (
+    NULL_TRACER,
+    REQUEST_TRACE_KIND,
+    RequestTracer,
+    read_trace_events,
+    reconstruct_request,
+    render_request_timeline,
+)
 from .html import render_html_report
 from .monitor import follow_jsonl, monitor_sink, summarize_record
 from .report import (
     derived_metrics,
     probe_overhead,
     render_counters,
+    render_histograms,
     render_series,
     render_spans,
     render_trace,
@@ -84,6 +115,27 @@ from .timeseries import (
 __all__ = [
     "TRACE_KIND",
     "AGGREGATE_KIND",
+    "REQUEST_TRACE_KIND",
+    "Histogram",
+    "merge_histogram_snapshots",
+    "HISTOGRAM_CATALOG",
+    "HISTOGRAM_PREFIXES",
+    "MetricsServer",
+    "render_prometheus",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "write_exposition",
+    "SLOResult",
+    "load_slo_spec",
+    "evaluate_slos",
+    "burn_gauges",
+    "attach_burn_gauges",
+    "render_slo_results",
+    "RequestTracer",
+    "NULL_TRACER",
+    "read_trace_events",
+    "reconstruct_request",
+    "render_request_timeline",
     "Recorder",
     "NullRecorder",
     "InMemoryRecorder",
@@ -103,6 +155,7 @@ __all__ = [
     "render_counters",
     "render_spans",
     "render_series",
+    "render_histograms",
     "derived_metrics",
     "probe_overhead",
     "render_html_report",

@@ -87,6 +87,15 @@ __all__ = [
     "SERVE_LATENCY_P50",
     "SERVE_LATENCY_P99",
     "SERVE_TENANT_RESIDENT",
+    # histograms
+    "HISTOGRAM_CATALOG",
+    "HISTOGRAM_PREFIXES",
+    "HIST_SERVE_LATENCY",
+    "HIST_SERVE_QUEUE_WAIT",
+    "HIST_SERVE_HEAD_SECONDS",
+    "HIST_STREAM_BATCH_SECONDS",
+    "KERNEL_SECONDS_PREFIX",
+    "SLO_BURN_PREFIX",
 ]
 
 TRAIN_EPOCHS = "train.epochs"
@@ -234,6 +243,10 @@ SERVE_LATENCY_P50 = "serve.latency_p50"
 SERVE_LATENCY_P99 = "serve.latency_p99"
 SERVE_TENANT_RESIDENT = "serve.tenant.resident"
 
+#: SLO error-budget-burn gauges are ``slo.burn.<spec name>``; the spec
+#: names are user-defined, so the family is catalogued by prefix.
+SLO_BURN_PREFIX = "slo.burn."
+
 #: gauges (last-value metrics); merged across processes by max.
 GAUGE_CATALOG: Dict[str, str] = {
     LSH_BUCKET_MAX_LOAD: "largest bucket occupancy seen at build time",
@@ -243,6 +256,28 @@ GAUGE_CATALOG: Dict[str, str] = {
     SERVE_LATENCY_P50: "median request latency in seconds (enqueue to response)",
     SERVE_LATENCY_P99: "99th-percentile request latency in seconds",
     SERVE_TENANT_RESIDENT: "tenant heads resident in the cache at last touch",
+}
+
+HIST_SERVE_LATENCY = "serve.latency_s"
+HIST_SERVE_QUEUE_WAIT = "serve.queue_wait_s"
+HIST_SERVE_HEAD_SECONDS = "serve.head.topk_s"
+HIST_STREAM_BATCH_SECONDS = "stream.batch_s"
+
+#: per-kernel call-time histograms are ``kernel.seconds.<kernel>``
+#: (same kernel names as :data:`KERNEL_FLOPS_PREFIX`).
+KERNEL_SECONDS_PREFIX = "kernel.seconds."
+
+#: log-bucket histograms (bounded, mergeable; see repro.obs.histogram).
+HISTOGRAM_CATALOG: Dict[str, str] = {
+    HIST_SERVE_LATENCY: "request latency in seconds (enqueue to response)",
+    HIST_SERVE_QUEUE_WAIT: "queue wait in seconds (enqueue to dispatch)",
+    HIST_SERVE_HEAD_SECONDS: "ALSH top-k head time per micro-batch in seconds",
+    HIST_STREAM_BATCH_SECONDS: "wall-clock seconds per streamed training batch",
+}
+
+#: dotted-name prefixes for histogram families with dynamic suffixes.
+HISTOGRAM_PREFIXES: Dict[str, str] = {
+    KERNEL_SECONDS_PREFIX: "per-call seconds of the named backend kernel",
 }
 
 

@@ -1,0 +1,238 @@
+"""Bounded, mergeable log-bucket histograms.
+
+Latency-style metrics cannot be kept as raw sample lists on a
+long-running server — an unbounded list is a memory leak and cannot be
+merged across processes.  A :class:`Histogram` keeps a *fixed* layout of
+log-spaced buckets instead: recording is O(1) (one ``log`` plus one
+array increment), memory is O(buckets) regardless of how many samples
+arrive, and two histograms with the same layout merge by summing bucket
+counts — so sharded recorders (executor workers, serve threads)
+aggregate to exactly the histogram of the concatenated samples.
+
+Layout
+------
+Buckets are geometric: bucket ``i`` (1-based) covers
+``(lo * growth**(i-1), lo * growth**i]``; everything at or below ``lo``
+lands in the underflow bucket 0 and everything above the top edge in
+the overflow bucket ``n_buckets + 1``.  The default layout spans 1µs to
+~4300s with ``growth = 2**0.2`` (five buckets per octave, ~15% bucket
+width), which covers every timing this repository records.
+
+Quantile error bound
+--------------------
+``quantile(q)`` walks the exact cumulative counts to the bucket holding
+the q-th order statistic and returns that bucket's geometric midpoint,
+clamped to the observed ``[min, max]``.  The estimate therefore lies in
+the *same bucket* as the true order statistic: its relative error is at
+most one bucket width, i.e. a factor of ``growth`` (≤ ~15% at the
+default layout).  ``merge`` is bucket-exact, so merging never widens
+this bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Histogram",
+    "DEFAULT_LO",
+    "DEFAULT_GROWTH",
+    "DEFAULT_BUCKETS",
+    "merge_histogram_snapshots",
+]
+
+#: default layout: 1µs lower edge, five buckets per octave, 160 buckets
+#: → top edge = lo * growth**160 = 2**32 µs ≈ 4.3e3 seconds.
+DEFAULT_LO = 1e-6
+DEFAULT_GROWTH = 2.0 ** 0.2
+DEFAULT_BUCKETS = 160
+
+
+class Histogram:
+    """Fixed-layout log-bucket histogram: O(1) record, O(buckets) memory."""
+
+    __slots__ = ("lo", "growth", "n_buckets", "_log_lo", "_inv_log_growth",
+                 "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        lo: float = DEFAULT_LO,
+        growth: float = DEFAULT_GROWTH,
+        n_buckets: int = DEFAULT_BUCKETS,
+    ):
+        if lo <= 0:
+            raise ValueError(f"lo must be positive, got {lo}")
+        if growth <= 1:
+            raise ValueError(f"growth must exceed 1, got {growth}")
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be at least 1, got {n_buckets}")
+        self.lo = float(lo)
+        self.growth = float(growth)
+        self.n_buckets = int(n_buckets)
+        self._log_lo = math.log(self.lo)
+        self._inv_log_growth = 1.0 / math.log(self.growth)
+        # underflow bucket 0, finite buckets 1..n, overflow bucket n+1.
+        self.counts: List[int] = [0] * (self.n_buckets + 2)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def same_layout(self, other: "Histogram") -> bool:
+        return (
+            self.lo == other.lo
+            and self.growth == other.growth
+            and self.n_buckets == other.n_buckets
+        )
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket a value lands in (0 = underflow, n+1 = overflow)."""
+        if value <= self.lo:
+            return 0
+        idx = 1 + int((math.log(value) - self._log_lo) * self._inv_log_growth)
+        # Guard the float rounding at exact edges: an edge value belongs
+        # to the bucket it is the *upper* edge of.
+        if value <= self.upper_edge(idx - 1):
+            idx -= 1
+        return idx if idx <= self.n_buckets else self.n_buckets + 1
+
+    def upper_edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (``lo`` for the underflow bucket)."""
+        if index <= 0:
+            return self.lo
+        if index > self.n_buckets:
+            return math.inf
+        return self.lo * self.growth ** index
+
+    def record(self, value: float) -> None:
+        """Add one sample; negative values clamp into the underflow bucket."""
+        value = float(value)
+        self.counts[self.bucket_index(value) if value > 0 else 0] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate of the q-quantile (q in [0, 1]); None when empty.
+
+        The returned value lies in the same log bucket as the true
+        order statistic, so its relative error is bounded by one bucket
+        width (a factor of ``growth``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        # Rank of the order statistic the estimate should track (the
+        # "nearest rank" definition; exact for the bucket walk).
+        rank = max(1, math.ceil(q * self.count))
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= rank:
+                return self._representative(i)
+        return self.max  # pragma: no cover - cum always reaches count
+
+    def _representative(self, index: int) -> float:
+        """Geometric bucket midpoint clamped to the observed range."""
+        if index <= 0:
+            value = self.lo
+        elif index > self.n_buckets:
+            value = self.upper_edge(self.n_buckets)
+        else:
+            value = self.lo * self.growth ** (index - 0.5)
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate another histogram of the identical layout."""
+        if not self.same_layout(other):
+            raise ValueError(
+                "cannot merge histograms with different layouts: "
+                f"({self.lo:g}, {self.growth:g}, {self.n_buckets}) vs "
+                f"({other.lo:g}, {other.growth:g}, {other.n_buckets})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dump; bucket counts stored sparsely by index."""
+        return {
+            "lo": self.lo,
+            "growth": self.growth,
+            "n_buckets": self.n_buckets,
+            "counts": {
+                str(i): int(c) for i, c in enumerate(self.counts) if c
+            },
+            "count": int(self.count),
+            "sum": float(self.sum),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "Histogram":
+        hist = cls(
+            lo=payload.get("lo", DEFAULT_LO),
+            growth=payload.get("growth", DEFAULT_GROWTH),
+            n_buckets=payload.get("n_buckets", DEFAULT_BUCKETS),
+        )
+        for key, c in payload.get("counts", {}).items():
+            hist.counts[int(key)] = int(c)
+        hist.count = int(payload.get("count", 0))
+        hist.sum = float(payload.get("sum", 0.0))
+        hist.min = payload.get("min")
+        hist.max = payload.get("max")
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram(count={self.count}, p50={self.quantile(0.5)}, "
+            f"p99={self.quantile(0.99)})"
+        )
+
+
+def merge_histogram_snapshots(
+    parts: Iterable[Optional[Dict[str, dict]]],
+) -> Dict[str, dict]:
+    """Merge per-worker histogram sections (bucket-exact).
+
+    ``None`` parts — untraced workers, pre-histogram snapshots on disk —
+    are skipped, mirroring :func:`repro.obs.timeseries.merge_series`.
+    """
+    merged: Dict[str, Histogram] = {}
+    for part in parts:
+        if not part:
+            continue
+        for name, payload in part.items():
+            hist = Histogram.from_snapshot(payload)
+            if name in merged:
+                merged[name].merge(hist)
+            else:
+                merged[name] = hist
+    return {name: hist.snapshot() for name, hist in merged.items()}

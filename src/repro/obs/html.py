@@ -18,7 +18,8 @@ from __future__ import annotations
 from html import escape
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .counters import COUNTER_CATALOG, GAUGE_CATALOG
+from .counters import COUNTER_CATALOG, GAUGE_CATALOG, HISTOGRAM_CATALOG, SLO_BURN_PREFIX
+from .histogram import Histogram
 from .report import derived_metrics, probe_overhead
 from .timeseries import (
     SERIES_CATALOG,
@@ -380,6 +381,68 @@ def _serving_block(snapshot: dict) -> str:
     ) + "</table>"
 
 
+def _histograms_block(snapshot: dict) -> str:
+    """Latency-distribution table from the log-bucket histograms."""
+    histograms = snapshot.get("histograms", {})
+    rows = []
+    for name in sorted(histograms):
+        hist = Histogram.from_snapshot(histograms[name])
+        if not hist.count:
+            continue
+        desc = HISTOGRAM_CATALOG.get(name, "")
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f'<td class="num">{hist.count:,}</td>'
+            f'<td class="num">{hist.quantile(0.5) * 1e3:.3f}</td>'
+            f'<td class="num">{hist.quantile(0.9) * 1e3:.3f}</td>'
+            f'<td class="num">{hist.quantile(0.99) * 1e3:.3f}</td>'
+            f'<td class="num">{hist.max * 1e3:.3f}</td>'
+            f'<td class="muted">{escape(desc)}</td></tr>'
+        )
+    if not rows:
+        return '<p class="muted">(no histograms recorded)</p>'
+    return (
+        "<table><tr><th>histogram</th><th>n</th><th>p50 (ms)</th>"
+        "<th>p90 (ms)</th><th>p99 (ms)</th><th>max (ms)</th><th></th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _has_histograms(snapshot: dict) -> bool:
+    return bool(snapshot.get("histograms"))
+
+
+def _slo_block(snapshot: dict) -> str:
+    """Error-budget burn gauges (``slo.burn.*``) when any were recorded."""
+    burns = {
+        name[len(SLO_BURN_PREFIX):]: value
+        for name, value in snapshot.get("gauges", {}).items()
+        if name.startswith(SLO_BURN_PREFIX)
+    }
+    rows = []
+    for name in sorted(burns):
+        burn = burns[name]
+        verdict = "within budget" if burn <= 1.0 else "VIOLATED"
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f'<td class="num">{burn:.3f}</td>'
+            f"<td>{verdict}</td></tr>"
+        )
+    return (
+        "<table><tr><th>SLO</th><th>budget burn</th><th></th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _has_slo(snapshot: dict) -> bool:
+    return any(
+        name.startswith(SLO_BURN_PREFIX)
+        for name in snapshot.get("gauges", {})
+    )
+
+
 def _has_serving(snapshot: dict) -> bool:
     return any(
         name.startswith("serve.")
@@ -483,6 +546,10 @@ def render_html_report(
     body.append("<h2>Time series</h2>")
     body.append(_series_block(roll))
 
+    if _has_histograms(roll):
+        body.append("<h2>Latency histograms</h2>")
+        body.append(_histograms_block(roll))
+
     if _has_serving(roll):
         body.append("<h2>Serving</h2>")
         body.append(_serving_block(roll))
@@ -490,6 +557,10 @@ def render_html_report(
     if _has_streaming(roll):
         body.append("<h2>Streaming</h2>")
         body.append(_streaming_block(roll))
+
+    if _has_slo(roll):
+        body.append("<h2>SLO error budgets</h2>")
+        body.append(_slo_block(roll))
 
     body.append("<h2>Probe overhead</h2>")
     body.append(_overhead_block(roll))

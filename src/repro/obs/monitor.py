@@ -19,9 +19,11 @@ import time
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Union
 
+from .histogram import Histogram
 from .report import probe_overhead
 from .timeseries import (
     SERIES_EPOCH_LOSS,
+    SERIES_STREAM_ACCURACY,
     SERIES_VAL_ACCURACY,
     series_points,
 )
@@ -43,12 +45,21 @@ def follow_jsonl(
     Undecodable lines are skipped: a complete-but-corrupt line is
     dropped for good, while a partial final line (no newline yet) is
     left in the buffer and retried once the writer finishes it.
+
+    Truncation and rotation are detected: when the file shrinks below
+    the stored offset (a sink rewritten from scratch, or log rotation
+    swapping in a fresh file), the offset and partial-line buffer reset
+    so the monitor re-reads from the top instead of silently tailing
+    past EOF forever.
     """
     path = Path(path)
     offset = 0
     buffer = ""
     while True:
         if path.exists():
+            if path.stat().st_size < offset:
+                offset = 0
+                buffer = ""
             with open(path, "r", encoding="utf-8") as fh:
                 fh.seek(offset)
                 chunk = fh.read()
@@ -77,11 +88,67 @@ def _last(snapshot: dict, name: str):
     return values[-1] if values else None
 
 
+def _quantile_ms(snapshot: dict, name: str, q: float) -> Optional[float]:
+    payload = snapshot.get("histograms", {}).get(name)
+    if not payload:
+        return None
+    value = Histogram.from_snapshot(payload).quantile(q)
+    return None if value is None else value * 1e3
+
+
+def _serve_summary(record: dict, snapshot: dict, label: str) -> str:
+    counters = snapshot.get("counters", {})
+    served = counters.get("serve.requests", 0)
+    shed = counters.get("serve.shed.queue_full", 0) + counters.get(
+        "serve.shed.deadline", 0
+    )
+    parts = [f"[serve] {label}:", f"served={int(served)}"]
+    elapsed = record.get("elapsed")
+    if elapsed:
+        parts.append(f"qps={served / float(elapsed):.0f}")
+    p99 = _quantile_ms(snapshot, "serve.latency_s", 0.99)
+    if p99 is not None:
+        parts.append(f"p99={p99:.2f}ms")
+    parts.append(f"shed={int(shed)}")
+    errors = counters.get("serve.handler_errors")
+    if errors:
+        parts.append(f"handler_errors={int(errors)}")
+    return " ".join(parts)
+
+
+def _stream_summary(record: dict, snapshot: dict, label: str) -> str:
+    counters = snapshot.get("counters", {})
+    parts = [
+        f"[stream] {label}:",
+        f"batches={int(counters.get('stream.batches', 0))}",
+        f"rebuilds={int(counters.get('stream.rebuilds', 0))}",
+        f"compactions={int(counters.get('stream.compactions', 0))}",
+    ]
+    p99 = _quantile_ms(snapshot, "stream.batch_s", 0.99)
+    if p99 is not None:
+        parts.append(f"batch_p99={p99:.2f}ms")
+    acc = _last(snapshot, SERIES_STREAM_ACCURACY)
+    if acc is not None:
+        parts.append(f"acc={acc:.4f}")
+    return " ".join(parts)
+
+
 def summarize_record(record: dict) -> Optional[str]:
-    """One summary line for a sink record; None for unknown shapes."""
+    """One summary line for a sink record; None for unknown shapes.
+
+    Training traces render their headline series; serve and stream
+    snapshots get dedicated lines (qps, histogram p99, shed counts,
+    rebuild events); executor outcomes their status; request-trace
+    event batches a count.
+    """
     snapshot = record.get("snapshot")
     if isinstance(snapshot, dict):
         label = record.get("label", record.get("kind", "trace"))
+        counters = snapshot.get("counters", {})
+        if "serve.requests" in counters:
+            return _serve_summary(record, snapshot, label)
+        if "stream.batches" in counters:
+            return _stream_summary(record, snapshot, label)
         _, losses = series_points(snapshot, SERIES_EPOCH_LOSS)
         parts = [f"[trace] {label}:"]
         if losses:
@@ -104,6 +171,16 @@ def summarize_record(record: dict) -> Optional[str]:
         if error:
             line += f": {error}"
         return line
+    if record.get("kind") == "request_trace":
+        events = record.get("events", [])
+        requests = {
+            e.get("request") for e in events
+            if isinstance(e, dict) and e.get("request")
+        }
+        return (
+            f"[request-trace] {len(events)} event(s) "
+            f"across {len(requests)} request(s)"
+        )
     return None
 
 

@@ -12,18 +12,19 @@ implementations exist:
   attribute load + C-level call — and provably never touches the
   training RNG or any floating-point state.
 * :class:`InMemoryRecorder`: accumulates counters, gauges, phase
-  timings, hierarchical spans and indexed time series, and snapshots
-  them to a JSON-safe dict.
+  timings, hierarchical spans, indexed time series and bounded
+  log-bucket histograms, and snapshots them to a JSON-safe dict.
 
 Snapshots from many processes merge with :func:`merge_snapshots`
 (counters/timings/spans sum; gauges take the max; series concatenate
-and re-sort by index).
+and re-sort by index; histograms merge bucket-exactly).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from .histogram import Histogram, merge_histogram_snapshots
 from .spans import Span, SpanAggregator
 from .timeseries import SeriesStore, merge_series
 
@@ -57,6 +58,10 @@ class Recorder:
 
     def series(self, name: str, index: int, value: float) -> None:
         """Append one (index, value) point to the named time series."""
+        raise NotImplementedError
+
+    def histogram(self, name: str, value: float) -> None:
+        """Record one sample into the named log-bucket histogram."""
         raise NotImplementedError
 
     def span(self, name: str):
@@ -100,6 +105,9 @@ class NullRecorder(Recorder):
     def series(self, name: str, index: int, value: float) -> None:
         pass
 
+    def histogram(self, name: str, value: float) -> None:
+        pass
+
     def span(self, name: str):
         return _NULL_SPAN
 
@@ -110,6 +118,7 @@ class NullRecorder(Recorder):
             "timings": {},
             "spans": {},
             "series": {},
+            "histograms": {},
         }
 
 
@@ -129,6 +138,7 @@ class InMemoryRecorder(Recorder):
         self.timings: Dict[str, List[float]] = {}
         self._spans = SpanAggregator()
         self._series = SeriesStore()
+        self.histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     def add(self, name: str, value: float = 1) -> None:
@@ -148,6 +158,21 @@ class InMemoryRecorder(Recorder):
     def series(self, name: str, index: int, value: float) -> None:
         self._series.append(name, index, value)
 
+    def histogram(self, name: str, value: float) -> None:
+        self.get_histogram(name).record(value)
+
+    def get_histogram(self, name: str) -> Histogram:
+        """Get-or-create the named histogram object itself.
+
+        Hot loops (the serving batcher) hold the returned object and
+        call ``record`` directly, skipping the per-sample name lookup;
+        the samples still land in this recorder's snapshot.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
     def span(self, name: str) -> Span:
         return Span(self._spans, name)
 
@@ -164,6 +189,16 @@ class InMemoryRecorder(Recorder):
         """Replace all series with a checkpointed snapshot (resume path)."""
         self._series.load(payload)
 
+    def histograms_snapshot(self) -> Dict[str, dict]:
+        """JSON-safe dump of the histogram section alone (checkpoint carry)."""
+        return {k: h.snapshot() for k, h in self.histograms.items()}
+
+    def load_histograms(self, payload: Dict[str, dict]) -> None:
+        """Replace all histograms with a checkpointed snapshot (resume path)."""
+        self.histograms = {
+            k: Histogram.from_snapshot(v) for k, v in payload.items()
+        }
+
     def snapshot(self) -> Dict[str, dict]:
         """JSON-safe dump of everything recorded so far."""
         return {
@@ -178,6 +213,7 @@ class InMemoryRecorder(Recorder):
             },
             "spans": self._spans.snapshot(),
             "series": self._series.snapshot(),
+            "histograms": self.histograms_snapshot(),
         }
 
 
@@ -186,11 +222,13 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
 
     Counters sum; timings and spans sum both count and total; gauges take
     the maximum (they are high-water marks); series concatenate and
-    re-sort by index.  ``None`` entries — tasks that ran untraced or
-    failed — are skipped, so the merge accepts the raw ``result.trace``
-    list of a sweep directly.  Snapshots from recorders predating a
-    section (e.g. pre-series traces on disk) merge fine: missing
-    sections are treated as empty.
+    re-sort by index; histograms merge bucket-exactly (the merged
+    histogram equals the histogram of the concatenated samples).
+    ``None`` entries — tasks that ran untraced or failed — are skipped,
+    so the merge accepts the raw ``result.trace`` list of a sweep
+    directly.  Snapshots from recorders predating a section (e.g.
+    pre-series traces on disk) merge fine: missing sections are treated
+    as empty.
     """
     out: dict = {
         "counters": {},
@@ -198,12 +236,15 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
         "timings": {},
         "spans": {},
         "series": {},
+        "histograms": {},
     }
     series_parts: List[Optional[dict]] = []
+    hist_parts: List[Optional[dict]] = []
     for snap in snapshots:
         if not snap:
             continue
         series_parts.append(snap.get("series"))
+        hist_parts.append(snap.get("histograms"))
         for k, v in snap.get("counters", {}).items():
             out["counters"][k] = out["counters"].get(k, 0) + v
         for k, v in snap.get("gauges", {}).items():
@@ -220,4 +261,5 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
                     slot["count"] += v["count"]
                     slot["total"] += v["total"]
     out["series"] = merge_series(series_parts)
+    out["histograms"] = merge_histogram_snapshots(hist_parts)
     return out

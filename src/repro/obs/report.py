@@ -24,6 +24,7 @@ from .counters import (
     SAMPLER_ROWS_POOL,
 )
 
+from .histogram import Histogram
 from .timeseries import series_points
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "render_counters",
     "render_spans",
     "render_series",
+    "render_histograms",
     "render_trace",
     "probe_overhead",
 ]
@@ -162,8 +164,27 @@ def render_series(snapshot: dict) -> str:
     return "\n".join(lines) if lines else "(no series recorded)"
 
 
+def render_histograms(snapshot: dict) -> str:
+    """One line per log-bucket histogram: count, quantiles and range."""
+    histograms = snapshot.get("histograms", {})
+    if not histograms:
+        return "(no histograms recorded)"
+    width = max(len(k) for k in histograms)
+    lines = []
+    for name in sorted(histograms):
+        hist = Histogram.from_snapshot(histograms[name])
+        if not hist.count:
+            continue
+        lines.append(
+            f"  {name:<{width}}  n={hist.count:<8} "
+            f"p50={hist.quantile(0.5):.4g}  p99={hist.quantile(0.99):.4g}  "
+            f"max={hist.max:.4g}  mean={hist.mean:.4g}"
+        )
+    return "\n".join(lines) if lines else "(no histograms recorded)"
+
+
 def render_trace(snapshot: dict, title: str = "trace") -> str:
-    """Full human-readable dump: spans, counters, then series."""
+    """Full human-readable dump: spans, counters, series, histograms."""
     text = (
         f"{title}\n"
         f"{'=' * len(title)}\n"
@@ -172,4 +193,6 @@ def render_trace(snapshot: dict, title: str = "trace") -> str:
     )
     if snapshot.get("series"):
         text += f"\nseries:\n{render_series(snapshot)}"
+    if snapshot.get("histograms"):
+        text += f"\nhistograms:\n{render_histograms(snapshot)}"
     return text

@@ -1,0 +1,272 @@
+"""Per-request trace propagation for the serving path.
+
+A :class:`RequestTracer` mints a request id at ``InferenceServer.submit``
+time; the id travels with the request through the micro-batch queue,
+dispatch and the model handler, and every hop appends one *trace event*
+— enqueued, shed, dispatched, completed — tagged with the id, a
+monotonic timestamp and (once dispatched) the id of the micro-batch the
+request rode in.  Batch-scoped work (trunk forward, ALSH head top-k)
+emits events tagged with the batch id alone, so reconstructing one
+request's timeline also recovers the shared work its batch paid for.
+
+Events buffer in memory and flush to the shared JSONL sink as records of
+kind :data:`REQUEST_TRACE_KIND` (``{"kind": "request_trace", "events":
+[...]}``), riding the same file as executor outcomes and snapshot trace
+records.  ``python -m repro trace-report --request <id>`` reconstructs a
+timeline from such a store via :func:`reconstruct_request`.
+
+Stdlib-only, like the rest of the ``repro.obs`` core.  Ids are minted
+from a process-local counter (``r000001``, ...) — deterministic, cheap,
+and unique within one serving process; multi-process deployments prefix
+them via ``id_prefix``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .sink import write_trace
+
+__all__ = [
+    "REQUEST_TRACE_KIND",
+    "RequestTracer",
+    "NULL_TRACER",
+    "read_trace_events",
+    "reconstruct_request",
+    "render_request_timeline",
+]
+
+REQUEST_TRACE_KIND = "request_trace"
+
+#: events a request emits over its lifetime, in causal order.
+REQUEST_EVENTS = (
+    "enqueued",
+    "shed_queue_full",
+    "shed_deadline",
+    "dispatched",
+    "completed",
+    "failed",
+)
+
+
+class RequestTracer:
+    """Mints request ids and buffers per-request trace events.
+
+    ``sink`` is an optional JSONL path; events flush there in chunks of
+    ``flush_every`` (and on :meth:`close`).  Without a sink the events
+    stay in :attr:`events` for in-process inspection, bounded at
+    ``max_buffer`` (oldest half dropped — a tracer must never be the
+    unbounded-memory problem it exists to expose).  All methods are
+    thread-safe and O(1) — the tracer sits on the serving hot path, so
+    ids come from ``itertools.count`` (GIL-atomic, no lock) and event
+    appends rely on the atomicity of ``list.append``; the lock guards
+    only the rare drain.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Union[str, Path]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        id_prefix: str = "r",
+        flush_every: int = 256,
+        max_buffer: int = 65536,
+    ):
+        self.sink = Path(sink) if sink is not None else None
+        self.clock = clock
+        self.id_prefix = id_prefix
+        self.flush_every = int(flush_every)
+        self.max_buffer = int(max_buffer)
+        self.events: List[Dict[str, Any]] = []
+        self._seq = itertools.count(1)
+        self._batch_seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- id minting ----------------------------------------------------
+    def mint(self) -> str:
+        """A new unique request id (``r000001``, ``r000002``, ...)."""
+        return f"{self.id_prefix}{next(self._seq):06d}"
+
+    def mint_batch(self) -> str:
+        """A new unique micro-batch id (``b000001``, ...)."""
+        return f"b{next(self._batch_seq):06d}"
+
+    # -- event recording -----------------------------------------------
+    def event(
+        self,
+        request_id: Optional[str],
+        event: str,
+        batch: Optional[str] = None,
+        t: Optional[float] = None,
+        **fields: Any,
+    ) -> None:
+        """Append one trace event; ``request_id=None`` marks batch scope."""
+        record: Dict[str, Any] = {
+            "request": request_id,
+            "event": event,
+            "t": self.clock() if t is None else float(t),
+        }
+        if batch is not None:
+            record["batch"] = batch
+        if fields:
+            record.update(fields)
+        self.events.append(record)  # GIL-atomic; no lock on the hot path
+        if self.sink is not None:
+            if len(self.events) >= self.flush_every:
+                with self._lock:
+                    pending = (
+                        self._drain()
+                        if len(self.events) >= self.flush_every
+                        else None
+                    )
+                if pending:
+                    self._write(pending)
+        elif len(self.events) > self.max_buffer:
+            with self._lock:
+                if len(self.events) > self.max_buffer:
+                    del self.events[: len(self.events) // 2]
+
+    def batch_event(self, batch: str, event: str, **fields: Any) -> None:
+        """A batch-scoped event (trunk forward, head top-k, dispatch)."""
+        self.event(None, event, batch=batch, **fields)
+
+    # -- flushing ------------------------------------------------------
+    def _drain(self) -> List[Dict[str, Any]]:
+        pending, self.events = self.events, []
+        return pending
+
+    def _write(self, pending: List[Dict[str, Any]]) -> None:
+        write_trace(self.sink, {"kind": REQUEST_TRACE_KIND, "events": pending})
+
+    def flush(self) -> None:
+        """Write all buffered events to the sink (no-op without one)."""
+        if self.sink is None:
+            return
+        with self._lock:
+            pending = self._drain()
+        if pending:
+            self._write(pending)
+
+    def close(self) -> None:
+        self.flush()
+
+
+class _NullTracer(RequestTracer):
+    """Shared do-nothing tracer: mint returns None, events are dropped.
+
+    Serving code calls ``tracer.mint()`` / ``tracer.event(...)``
+    unconditionally; with the null tracer those are cheap no-ops and no
+    request ids exist, matching the pre-tracing behaviour bit for bit.
+    """
+
+    def __init__(self):
+        super().__init__()
+
+    def mint(self) -> Optional[str]:  # type: ignore[override]
+        return None
+
+    def mint_batch(self) -> Optional[str]:  # type: ignore[override]
+        return None
+
+    def event(self, request_id, event, batch=None, t=None, **fields) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+
+def read_trace_events(records: List[dict]) -> List[Dict[str, Any]]:
+    """Flatten the events of every ``request_trace`` record in a store."""
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("kind") != REQUEST_TRACE_KIND:
+            continue
+        for event in record.get("events", []):
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def reconstruct_request(
+    events: List[Dict[str, Any]], request_id: str
+) -> Dict[str, Any]:
+    """One request's timeline, plus the batch it rode in.
+
+    Returns ``{"request": id, "events": [...], "batch": id-or-None,
+    "batch_events": [...], "siblings": [ids]}`` where *events* are the
+    request's own hops, *batch_events* the batch-scoped work (dispatch,
+    trunk forward, head top-k) of its micro-batch, and *siblings* the
+    other requests that rode the same batch.  Raises :class:`KeyError`
+    when the id never appears in the store.
+    """
+    own = sorted(
+        (e for e in events if e.get("request") == request_id),
+        key=lambda e: e.get("t", 0.0),
+    )
+    if not own:
+        raise KeyError(f"request id {request_id!r} not found in trace store")
+    batch = next((e["batch"] for e in own if e.get("batch") is not None), None)
+    batch_events: List[Dict[str, Any]] = []
+    siblings: List[str] = []
+    if batch is not None:
+        seen = {request_id}
+        for e in events:
+            if e.get("batch") != batch:
+                continue
+            if e.get("request") is None:
+                batch_events.append(e)
+            elif e["request"] not in seen:
+                seen.add(e["request"])
+                siblings.append(e["request"])
+        batch_events.sort(key=lambda e: e.get("t", 0.0))
+    return {
+        "request": request_id,
+        "events": own,
+        "batch": batch,
+        "batch_events": batch_events,
+        "siblings": sorted(siblings),
+    }
+
+
+def render_request_timeline(timeline: Dict[str, Any]) -> str:
+    """Human-readable timeline for ``trace-report --request``."""
+    lines = [f"request {timeline['request']}"]
+    t0 = timeline["events"][0].get("t", 0.0) if timeline["events"] else 0.0
+
+    def _fmt(event: Dict[str, Any], indent: str) -> str:
+        dt_ms = (event.get("t", t0) - t0) * 1e3
+        extra = ", ".join(
+            f"{k}={v}"
+            for k, v in event.items()
+            if k not in ("request", "event", "t", "batch") and v is not None
+        )
+        tail = f"  ({extra})" if extra else ""
+        return f"{indent}{dt_ms:+10.3f} ms  {event['event']}{tail}"
+
+    for event in timeline["events"]:
+        lines.append(_fmt(event, "  "))
+    if timeline["batch"] is not None:
+        lines.append(
+            f"  batch {timeline['batch']}"
+            + (
+                f"  (rode with {len(timeline['siblings'])} sibling(s): "
+                + ", ".join(timeline["siblings"][:8])
+                + ("..." if len(timeline["siblings"]) > 8 else "")
+                + ")"
+                if timeline["siblings"]
+                else "  (alone in its batch)"
+            )
+        )
+        for event in timeline["batch_events"]:
+            lines.append(_fmt(event, "    "))
+    return "\n".join(lines)

@@ -34,6 +34,8 @@ import numpy as np
 
 from ..obs import NULL_RECORDER, Recorder
 from ..obs.counters import (
+    HIST_SERVE_LATENCY,
+    HIST_SERVE_QUEUE_WAIT,
     SERVE_BATCHES,
     SERVE_HANDLER_ERRORS,
     SERVE_QUEUE_DEPTH,
@@ -41,7 +43,9 @@ from ..obs.counters import (
     SERVE_SHED_DEADLINE,
     SERVE_SHED_QUEUE_FULL,
 )
+from ..obs.histogram import Histogram
 from ..obs.timeseries import SERIES_SERVE_BATCH_SIZE
+from ..obs.tracectx import NULL_TRACER, RequestTracer
 
 __all__ = [
     "ServeError",
@@ -74,19 +78,22 @@ class ServeRequest:
     """One queued inference request; a minimal single-waiter future.
 
     ``x`` is one sample (a 1-D feature row); ``deadline`` is an absolute
-    clock value or ``None``.  The batcher fulfils the request with
-    :meth:`set_result` / :meth:`set_exception`; the caller blocks in
-    :meth:`result`.
+    clock value or ``None``.  ``request_id`` is the trace id minted at
+    submit time (None when tracing is off).  The batcher fulfils the
+    request with :meth:`set_result` / :meth:`set_exception`; the caller
+    blocks in :meth:`result`.
     """
 
-    __slots__ = ("x", "enqueued_at", "deadline", "_event", "_result",
-                 "_exception", "completed_at")
+    __slots__ = ("x", "enqueued_at", "deadline", "request_id", "_event",
+                 "_result", "_exception", "completed_at")
 
     def __init__(self, x: np.ndarray, enqueued_at: float,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 request_id: Optional[str] = None):
         self.x = x
         self.enqueued_at = float(enqueued_at)
         self.deadline = None if deadline is None else float(deadline)
+        self.request_id = request_id
         self._event = threading.Event()
         self._result = None
         self._exception: Optional[BaseException] = None
@@ -207,10 +214,18 @@ class MicroBatcher:
         Monotonic time source (tests inject a fake).
     recorder:
         Observability sink (queue-depth gauge, shed counters,
-        batch-size series).
+        batch-size series, latency/queue-wait histograms).
+    tracer:
+        Per-request trace propagation (:class:`RequestTracer`); the
+        default :data:`NULL_TRACER` mints no ids and drops all events.
     start_worker:
         ``False`` leaves dispatch to explicit :meth:`run_once` calls —
         the deterministic mode the clock-injected tests run in.
+
+    Latency tracking is O(buckets), not O(requests): completed-request
+    latencies and queue waits land in two bounded log-bucket
+    :class:`~repro.obs.histogram.Histogram`\\ s (:attr:`latency`,
+    :attr:`queue_wait`) that a long-running server can hold forever.
     """
 
     def __init__(
@@ -222,6 +237,7 @@ class MicroBatcher:
         default_deadline: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         recorder: Recorder = NULL_RECORDER,
+        tracer: RequestTracer = NULL_TRACER,
         start_worker: bool = True,
     ):
         if max_queue < 1:
@@ -232,7 +248,21 @@ class MicroBatcher:
         self.default_deadline = default_deadline
         self.clock = clock
         self.obs = recorder
-        self.latencies: List[float] = []
+        self.tracer = tracer
+        #: bounded latency/queue-wait histograms — always on, because
+        #: ``stats()`` must answer even under the null recorder.  With a
+        #: live recorder they ARE the recorder's histograms (aliased via
+        #: ``get_histogram``), so one O(1) record per sample feeds both
+        #: ``stats()`` and the snapshot/JSONL/exporter surface.
+        if recorder.enabled and hasattr(recorder, "get_histogram"):
+            self.latency = recorder.get_histogram(HIST_SERVE_LATENCY)
+            self.queue_wait = recorder.get_histogram(HIST_SERVE_QUEUE_WAIT)
+        else:
+            self.latency = Histogram()
+            self.queue_wait = Histogram()
+        #: trace batch id of the batch currently inside the handler
+        #: (readable by the handler itself for batch-scoped spans).
+        self.dispatching_batch_id: Optional[str] = None
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False
@@ -249,9 +279,16 @@ class MicroBatcher:
     # client side
     # ------------------------------------------------------------------
     def submit(
-        self, x: np.ndarray, deadline: Optional[float] = None
+        self,
+        x: np.ndarray,
+        deadline: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> ServeRequest:
         """Enqueue one sample; returns its future-like request handle.
+
+        ``request_id`` is the trace id minted by the caller (the server
+        mints one per submission when tracing is on); when omitted the
+        batcher mints its own via the tracer.
 
         Raises :class:`ServerClosed` after shutdown and
         :class:`ServerOverloaded` when the queue is at depth — the two
@@ -259,10 +296,13 @@ class MicroBatcher:
         """
         now = self.clock()
         rel = self.default_deadline if deadline is None else deadline
+        if request_id is None:
+            request_id = self.tracer.mint()
         request = ServeRequest(
             np.asarray(x, dtype=float),
             enqueued_at=now,
             deadline=None if rel is None else now + float(rel),
+            request_id=request_id,
         )
         with self._wake:
             if self._closed:
@@ -270,6 +310,7 @@ class MicroBatcher:
             depth = len(self.collector)
             if depth >= self.max_queue:
                 self.obs.add(SERVE_SHED_QUEUE_FULL)
+                self.tracer.event(request_id, "shed_queue_full", t=now)
                 raise ServerOverloaded(
                     f"queue at depth limit {self.max_queue}; retry later"
                 )
@@ -280,6 +321,7 @@ class MicroBatcher:
                 self.obs.gauge(SERVE_QUEUE_DEPTH, depth)
             self.obs.add(SERVE_REQUESTS)
             self._wake.notify()
+        self.tracer.event(request_id, "enqueued", t=now, depth=depth)
         return request
 
     def queue_depth(self) -> int:
@@ -295,30 +337,53 @@ class MicroBatcher:
         now = self.clock()
         for request in expired:
             self.obs.add(SERVE_SHED_DEADLINE)
+            self.tracer.event(request.request_id, "shed_deadline", t=now)
             request.set_exception(
                 DeadlineExceeded("deadline passed while queued"), now
             )
         if not live:
             return 0
+        batch_id = self.tracer.mint_batch()
+        for request in live:
+            self.queue_wait.record(now - request.enqueued_at)
+            self.tracer.event(
+                request.request_id, "dispatched", batch=batch_id, t=now
+            )
+        if batch_id is not None:
+            self.tracer.batch_event(
+                batch_id, "handler_start", size=len(live)
+            )
         batch = np.stack([r.x for r in live])
+        self.dispatching_batch_id = batch_id
         try:
             out = self.handler(batch)
         except Exception as exc:  # degrade: fail the batch, keep serving
             self.obs.add(SERVE_HANDLER_ERRORS)
             now = self.clock()
             for request in live:
+                self.tracer.event(
+                    request.request_id, "failed", batch=batch_id, t=now
+                )
                 request.set_exception(
                     ServeError(f"handler failed: {exc!r}"), now
                 )
             return len(live)
+        finally:
+            self.dispatching_batch_id = None
         now = self.clock()
+        if batch_id is not None:
+            self.tracer.batch_event(batch_id, "handler_end", t=now)
         self._batch_seq += 1
         self.obs.add(SERVE_BATCHES)
         self.obs.series(SERIES_SERVE_BATCH_SIZE, self._batch_seq, len(live))
         for i, request in enumerate(live):
             request.set_result(out[i], now)
-            if request.latency is not None:
-                self.latencies.append(request.latency)
+            latency = request.latency
+            if latency is not None:
+                self.latency.record(latency)
+                self.tracer.event(
+                    request.request_id, "completed", batch=batch_id, t=now
+                )
         return len(live)
 
     def run_once(self, force: bool = False) -> int:

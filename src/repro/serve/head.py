@@ -26,6 +26,7 @@ Guarantees and escape hatches:
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..backend import active_backend
 from ..lsh.mips import MIPSIndex, exact_mips_batch
 from ..obs import NULL_RECORDER, Recorder
 from ..obs.counters import (
+    HIST_SERVE_HEAD_SECONDS,
     SERVE_HEAD_CANDIDATES,
     SERVE_HEAD_FALLBACKS,
     SERVE_HEAD_QUERIES,
@@ -149,6 +151,18 @@ class ALSHTopKHead:
         self._last_queries = h
         if exact:
             return self.exact_topk(h, k)
+        if self.obs.enabled:
+            start = time.perf_counter()
+            out = self._approx_topk(h, k)
+            dt = time.perf_counter() - start
+            self.obs.add_time("serve.head.topk", dt)
+            self.obs.histogram(HIST_SERVE_HEAD_SECONDS, dt)
+            return out
+        return self._approx_topk(h, k)
+
+    def _approx_topk(
+        self, h: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         backend = active_backend()
         candidate_sets = self.candidates(h)
         m = h.shape[0]

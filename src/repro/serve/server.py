@@ -34,6 +34,7 @@ from ..backend import use_backend
 from ..obs import NULL_RECORDER, Recorder
 from ..obs.counters import SERVE_LATENCY_P50, SERVE_LATENCY_P99
 from ..obs.probes import ProbeManager
+from ..obs.tracectx import NULL_TRACER, RequestTracer
 from .batcher import MicroBatcher, ServeRequest
 from .head import ALSHTopKHead, HeadRecallProbe
 from .registry import ServableModel
@@ -95,8 +96,11 @@ class InferenceServer:
     probe_every:
         Attach a :class:`HeadRecallProbe` on this batch cadence
         (requires an enabled recorder to do anything).
-    clock, recorder, start_worker:
-        Injection points shared with :class:`MicroBatcher`.
+    clock, recorder, tracer, start_worker:
+        Injection points shared with :class:`MicroBatcher`; ``tracer``
+        mints one request id per :meth:`submit` and records the
+        request's hops (enqueued → dispatched → completed/shed) plus
+        the batch-scoped trunk/head spans.
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class InferenceServer:
         probe_every: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         recorder: Recorder = NULL_RECORDER,
+        tracer: RequestTracer = NULL_TRACER,
         start_worker: bool = True,
     ):
         if mode not in ("logproba", "topk"):
@@ -129,6 +134,7 @@ class InferenceServer:
         self.k = int(k)
         self.exact = bool(exact)
         self.obs = recorder
+        self.tracer = tracer
         self.backend = backend
         self.head: Optional[ALSHTopKHead] = None
         if mode == "topk":
@@ -154,15 +160,32 @@ class InferenceServer:
             default_deadline=default_deadline,
             clock=clock,
             recorder=recorder,
+            tracer=tracer,
             start_worker=start_worker,
         )
 
     # ------------------------------------------------------------------
     def _answer(self, batch: np.ndarray):
+        batch_id = self.batcher.dispatching_batch_id
         if self.mode == "logproba":
-            return self.model.predict_logproba(batch, pad_to=self._pad_to)
+            start = time.perf_counter()
+            out = self.model.predict_logproba(batch, pad_to=self._pad_to)
+            if batch_id is not None:
+                self.tracer.batch_event(
+                    batch_id, "forward", seconds=time.perf_counter() - start
+                )
+            return out
+        start = time.perf_counter()
         trunk = self.model.trunk_forward(batch, pad_to=self._pad_to)
+        mid = time.perf_counter()
         ids, logits = self.head.topk(trunk, self.k, exact=self.exact)
+        if batch_id is not None:
+            self.tracer.batch_event(
+                batch_id, "trunk_forward", seconds=mid - start
+            )
+            self.tracer.batch_event(
+                batch_id, "head_topk", seconds=time.perf_counter() - mid
+            )
         return [(ids[i], logits[i]) for i in range(ids.shape[0])]
 
     def _handle(self, batch: np.ndarray):
@@ -183,8 +206,15 @@ class InferenceServer:
     def submit(
         self, x: np.ndarray, deadline: Optional[float] = None
     ) -> ServeRequest:
-        """Enqueue one sample; returns a future-like request handle."""
-        return self.batcher.submit(x, deadline=deadline)
+        """Enqueue one sample; returns a future-like request handle.
+
+        With a live tracer the request id is minted here — read it from
+        the returned handle's ``request_id`` to follow the request
+        through ``trace-report --request``.
+        """
+        return self.batcher.submit(
+            x, deadline=deadline, request_id=self.tracer.mint()
+        )
 
     def predict(self, x: np.ndarray, timeout: Optional[float] = 5.0):
         """Synchronous single-sample convenience wrapper."""
@@ -206,22 +236,28 @@ class InferenceServer:
 
     # ------------------------------------------------------------------
     def _record_latency_gauges(self) -> None:
-        lat = self.batcher.latencies
-        if lat and self.obs.enabled:
-            self.obs.gauge(SERVE_LATENCY_P50, float(np.percentile(lat, 50)))
-            self.obs.gauge(SERVE_LATENCY_P99, float(np.percentile(lat, 99)))
+        lat = self.batcher.latency
+        if lat.count and self.obs.enabled:
+            self.obs.gauge(SERVE_LATENCY_P50, float(lat.quantile(0.5)))
+            self.obs.gauge(SERVE_LATENCY_P99, float(lat.quantile(0.99)))
 
     def stats(self) -> dict:
-        """Latency percentiles and queue statistics for reporting."""
-        lat = sorted(self.batcher.latencies)
+        """Latency percentiles and queue statistics for reporting.
+
+        Percentiles are estimated from the batcher's bounded log-bucket
+        histogram, so memory stays O(buckets) however long the server
+        runs; each estimate lies in the same bucket as the true order
+        statistic (relative error at most one bucket width, ≤ ~15% at
+        the default layout — see :mod:`repro.obs.histogram`).
+        """
+        lat = self.batcher.latency
         self._record_latency_gauges()
-        out = {
-            "served": len(lat),
+        return {
+            "served": lat.count,
             "queue_depth": self.batcher.queue_depth(),
-            "latency_p50": float(np.percentile(lat, 50)) if lat else None,
-            "latency_p99": float(np.percentile(lat, 99)) if lat else None,
+            "latency_p50": lat.quantile(0.5),
+            "latency_p99": lat.quantile(0.99),
         }
-        return out
 
 
 def _fire(
@@ -259,7 +295,13 @@ def _fire(
     return {"ok": ok, "shed": shed, "failed": failed}
 
 
-def run_smoke(requests: int = 1000, seed: int = 0, verbose: bool = True) -> int:
+def run_smoke(
+    requests: int = 1000,
+    seed: int = 0,
+    verbose: bool = True,
+    metrics_port: Optional[int] = None,
+    store: Optional[str] = None,
+) -> int:
     """The CI serve-smoke: nominal load sheds nothing, overload sheds.
 
     Spins the server in-process, fires ``requests`` requests at a
@@ -267,21 +309,77 @@ def run_smoke(requests: int = 1000, seed: int = 0, verbose: bool = True) -> int:
     served), then again at a tiny queue with a deliberately slowed
     handler (asserting the load-shedding path actually rejects).
     Returns a process exit code.
+
+    ``metrics_port`` additionally attaches the live exporter, then
+    self-scrapes ``/metrics``, ``/healthz`` and ``/readyz`` and
+    validates the exposition — the CI metrics-smoke path.  ``store``
+    writes the final snapshot (histograms included) and the request
+    trace events to a JSONL file for ``slo-check`` /
+    ``trace-report --request``.
     """
     from ..obs import InMemoryRecorder
     from ..obs.counters import SERVE_SHED_QUEUE_FULL
+    from ..obs.export import MetricsServer, parse_prometheus
+    from ..obs.sink import trace_record, write_trace
 
     rng = np.random.default_rng(seed)
     model = seeded_servable(seed=seed)
     xs = rng.normal(size=(requests, model.input_dim))
 
     recorder = InMemoryRecorder()
-    with InferenceServer(
+    tracer = RequestTracer(sink=store) if store else NULL_TRACER
+    server = InferenceServer(
         model, max_batch=32, max_wait=0.001, max_queue=4 * requests,
-        recorder=recorder,
-    ) as server:
+        recorder=recorder, tracer=tracer,
+    )
+    metrics = None
+    if metrics_port is not None:
+        metrics = MetricsServer(
+            recorder.snapshot,
+            port=metrics_port,
+            ready_fn=lambda: (
+                (True, "ok")
+                if server.batcher.queue_depth() < server.batcher.max_queue
+                else (False, "queue at shed threshold")
+            ),
+        )
+        if verbose:
+            print(f"metrics: serving {metrics.url}/metrics")
+    try:
         nominal = _fire(server, xs)
-    nominal_stats = server.stats()
+        nominal_stats = server.stats()
+        if metrics is not None:
+            from urllib.request import urlopen
+
+            with urlopen(metrics.url + "/metrics", timeout=10.0) as resp:
+                samples = parse_prometheus(resp.read().decode("utf-8"))
+            with urlopen(metrics.url + "/healthz", timeout=10.0) as resp:
+                health = resp.status
+            with urlopen(metrics.url + "/readyz", timeout=10.0) as resp:
+                ready = resp.status
+            if verbose:
+                print(
+                    f"metrics: scraped {len(samples)} metric(s), "
+                    f"healthz {health}, readyz {ready}"
+                )
+            if health != 200 or ready != 200:
+                print("FAIL: health endpoints must answer 200 under nominal load")
+                return 1
+            if "repro_serve_latency_s_count" not in samples:
+                print("FAIL: /metrics must expose the serve latency histogram")
+                return 1
+    finally:
+        server.close()
+        if metrics is not None:
+            metrics.close()
+    if store:
+        tracer.flush()
+        write_trace(
+            store,
+            trace_record(recorder.snapshot(), label="serve-smoke"),
+        )
+        if verbose:
+            print(f"store: snapshot + request traces written to {store}")
     if verbose:
         print(
             f"nominal: {nominal['ok']}/{requests} served, "

@@ -59,6 +59,7 @@ from ..nn.checkpoint import (
 from ..nn.network import MLP
 from ..obs import NULL_RECORDER, Recorder
 from ..obs.counters import (
+    HIST_STREAM_BATCH_SECONDS,
     LSH_GARBAGE_FRAC,
     LSH_REHASHED_COLUMNS,
     STREAM_BATCHES,
@@ -302,7 +303,9 @@ class StreamTrainer:
         t0 = time.perf_counter()
         for _ in range(start, int(n_batches)):
             x, y = self.stream.next_batch()
+            tb = time.perf_counter()
             loss = self.trainer.train_batch(x, y)
+            batch_seconds = time.perf_counter() - tb
             self.batches_done += 1
             self.samples_done += int(x.shape[0])
             self.last_loss = float(loss)
@@ -310,6 +313,7 @@ class StreamTrainer:
                 self.obs.add(STREAM_BATCHES)
                 self.obs.add(STREAM_SAMPLES, int(x.shape[0]))
                 self.obs.series(SERIES_STREAM_LOSS, self.batches_done, float(loss))
+                self.obs.histogram(HIST_STREAM_BATCH_SECONDS, batch_seconds)
             if self._probes is not None:
                 self._probes.on_batch(self.trainer, x, y)
             if (
@@ -411,6 +415,8 @@ class StreamTrainer:
         obs_payload: dict = {}
         if self.obs.enabled and hasattr(self.obs, "series_snapshot"):
             obs_payload["series"] = self.obs.series_snapshot()
+        if self.obs.enabled and hasattr(self.obs, "histograms_snapshot"):
+            obs_payload["histograms"] = self.obs.histograms_snapshot()
         if self._probes is not None:
             obs_payload["probes"] = self._probes.state_dict()
         if obs_payload:
@@ -494,6 +500,12 @@ class StreamTrainer:
             and "series" in obs_payload
         ):
             self.obs.load_series(obs_payload["series"])
+        if (
+            self.obs.enabled
+            and hasattr(self.obs, "load_histograms")
+            and "histograms" in obs_payload
+        ):
+            self.obs.load_histograms(obs_payload["histograms"])
         if self._probes is not None and "probes" in obs_payload:
             self._probes.load_state_dict(obs_payload["probes"])
 

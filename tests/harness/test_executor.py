@@ -23,6 +23,7 @@ from repro.harness.executor import (
     ExperimentExecutor,
     JsonlSink,
     derive_task_seeds,
+    run_experiment_traced,
     task_key,
 )
 from repro.harness.experiment import run_experiment
@@ -433,3 +434,47 @@ class TestCheckpointedExperimentTask:
         assert stored == sorted(
             f"{c.checkpoint_tag()}.ckpt.npz" for c in configs
         )
+
+
+class TestMetricsExposition:
+    def test_prom_file_written_and_parses(self, tiny_dataset, tmp_path):
+        """metrics_path turns a sweep into a textfile-collector target:
+        the merged trace snapshot plus sweep progress gauges land in an
+        atomically replaced .prom file."""
+        from repro.obs.export import parse_prometheus
+
+        prom = tmp_path / "metrics" / "sweep.prom"
+        configs = [small_config(seed=s) for s in (0, 1)]
+        executor = ExperimentExecutor(
+            max_workers=1,
+            task_fn=run_experiment_traced,
+            metrics_path=prom,
+        )
+        outcomes = executor.run(configs, dataset=tiny_dataset)
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        assert prom.exists()
+        assert not prom.with_name(prom.name + ".tmp").exists()
+        samples = parse_prometheus(prom.read_text(encoding="utf-8"))
+        assert samples["repro_sweep_tasks"] == [("", 2.0)]
+        assert samples["repro_sweep_done"] == [("", 2.0)]
+        assert samples["repro_sweep_failed"] == [("", 0.0)]
+        # merged trace counters ride along (both tasks trained 1 epoch)
+        assert samples["repro_train_epochs_total"] == [("", 2.0)]
+
+    def test_failures_counted_in_exposition(self, tmp_path):
+        from repro.obs.export import parse_prometheus
+
+        prom = tmp_path / "sweep.prom"
+        tasks = [
+            {"value": 1, "fail": False, "dir": str(tmp_path)},
+            {"value": 2, "fail": True, "dir": str(tmp_path)},
+        ]
+        executor = ExperimentExecutor(
+            max_workers=1, retries=0, task_fn=counting_task,
+            metrics_path=prom,
+        )
+        outcomes = executor.run(tasks)
+        assert [o.status for o in outcomes] == ["ok", "error"]
+        samples = parse_prometheus(prom.read_text(encoding="utf-8"))
+        assert samples["repro_sweep_done"] == [("", 2.0)]
+        assert samples["repro_sweep_failed"] == [("", 1.0)]

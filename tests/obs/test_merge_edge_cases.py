@@ -11,7 +11,7 @@ import pytest
 from repro.obs import InMemoryRecorder, merge_snapshots
 
 EMPTY = {"counters": {}, "gauges": {}, "timings": {}, "spans": {},
-         "series": {}}
+         "series": {}, "histograms": {}}
 
 
 class TestEmptyInputs:

@@ -1,0 +1,138 @@
+"""Monitor tests: JSONL tailing (truncation/rotation) and summary lines."""
+
+import itertools
+import json
+
+from repro.obs import InMemoryRecorder
+from repro.obs.monitor import follow_jsonl, monitor_sink, summarize_record
+from repro.obs.sink import trace_record
+
+
+class TestFollowJsonl:
+    def test_reads_existing_records_without_follow(self, tmp_path):
+        path = tmp_path / "sink.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n', encoding="utf-8")
+        assert [r["a"] for r in follow_jsonl(path)] == [1, 2]
+
+    def test_corrupt_line_skipped(self, tmp_path):
+        path = tmp_path / "sink.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"a": 2}\n', encoding="utf-8")
+        assert [r["a"] for r in follow_jsonl(path)] == [1, 2]
+
+    def test_partial_final_line_retried_after_writer_finishes(self, tmp_path):
+        path = tmp_path / "sink.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2', encoding="utf-8")
+        # Bound the number of polls so a regression fails instead of hanging.
+        polls = itertools.count()
+        gen = follow_jsonl(
+            path, follow=True, poll=0.001, stop=lambda: next(polls) > 500
+        )
+        assert next(gen)["a"] == 1
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(', "b": 3}\n')
+        record = next(gen)
+        assert record == {"a": 2, "b": 3}
+
+    def test_truncation_resets_to_top_of_file(self, tmp_path):
+        """Regression: a shrunk sink (rewrite/rotation) must be re-read,
+        not silently tailed past EOF forever."""
+        path = tmp_path / "sink.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n', encoding="utf-8")
+        polls = itertools.count()
+        gen = follow_jsonl(
+            path, follow=True, poll=0.001, stop=lambda: next(polls) > 500
+        )
+        assert next(gen)["a"] == 1
+        assert next(gen)["a"] == 2
+        # rotate: a fresh, smaller file swaps in at the same path
+        path.write_text('{"fresh": true}\n', encoding="utf-8")
+        assert next(gen) == {"fresh": True}
+
+    def test_missing_file_waits_until_created(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+        polls = itertools.count()
+
+        def stop():
+            n = next(polls)
+            if n == 3:
+                path.write_text('{"born": 1}\n', encoding="utf-8")
+            return n > 500
+
+        gen = follow_jsonl(path, follow=True, poll=0.001, stop=stop)
+        assert next(gen) == {"born": 1}
+
+
+def _serve_record():
+    rec = InMemoryRecorder()
+    rec.add("serve.requests", 500)
+    rec.add("serve.shed.queue_full", 7)
+    rec.add("serve.handler_errors", 2)
+    for _ in range(10):
+        rec.histogram("serve.latency_s", 0.004)
+    return trace_record(rec.snapshot(), label="serve-smoke", elapsed=2.0)
+
+
+def _stream_record():
+    rec = InMemoryRecorder()
+    rec.add("stream.batches", 600)
+    rec.add("stream.rebuilds", 4)
+    rec.add("stream.compactions", 1)
+    rec.series("stream.accuracy", 0, 0.81)
+    for _ in range(5):
+        rec.histogram("stream.batch_s", 0.002)
+    return trace_record(rec.snapshot(), label="stream-drift")
+
+
+class TestSummarizeRecord:
+    def test_serve_snapshot_line(self):
+        line = summarize_record(_serve_record())
+        assert line.startswith("[serve] serve-smoke:")
+        assert "served=500" in line
+        assert "qps=250" in line
+        assert "shed=7" in line
+        assert "handler_errors=2" in line
+        assert "p99=" in line
+
+    def test_stream_snapshot_line(self):
+        line = summarize_record(_stream_record())
+        assert line.startswith("[stream] stream-drift:")
+        assert "batches=600" in line
+        assert "rebuilds=4" in line
+        assert "compactions=1" in line
+        assert "acc=0.8100" in line
+        assert "batch_p99=" in line
+
+    def test_request_trace_line(self):
+        record = {
+            "kind": "request_trace",
+            "events": [
+                {"request": "r000001", "event": "enqueued", "t": 0.0},
+                {"request": "r000001", "event": "completed", "t": 1.0},
+                {"request": "r000002", "event": "enqueued", "t": 2.0},
+            ],
+        }
+        line = summarize_record(record)
+        assert "3 event(s)" in line
+        assert "2 request(s)" in line
+
+    def test_executor_outcome_line(self):
+        line = summarize_record(
+            {"status": "failed", "key": "run-3", "error": "boom"}
+        )
+        assert line == "[failed] run-3: boom"
+
+    def test_unknown_shape_returns_none(self):
+        assert summarize_record({"mystery": 1}) is None
+
+
+class TestMonitorSink:
+    def test_counts_summarized_records(self, tmp_path):
+        path = tmp_path / "sink.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_serve_record()) + "\n")
+            fh.write(json.dumps(_stream_record()) + "\n")
+            fh.write('{"mystery": 1}\n')
+        lines = []
+        assert monitor_sink(path, out=lines.append) == 2
+        assert lines[0].startswith("[serve]")
+        assert lines[1].startswith("[stream]")

@@ -10,6 +10,8 @@ import pytest
 
 from repro.obs import InMemoryRecorder
 from repro.obs.counters import (
+    HIST_SERVE_LATENCY,
+    HIST_SERVE_QUEUE_WAIT,
     SERVE_BATCHES,
     SERVE_QUEUE_DEPTH,
     SERVE_REQUESTS,
@@ -240,7 +242,24 @@ class TestMicroBatcherDeterministic:
         batcher.submit([1.0])
         clock.advance(0.010)
         batcher.run_once()
-        assert batcher.latencies == [pytest.approx(0.010)]
+        # Latencies land in a bounded log-bucket histogram; the estimate
+        # is exact to within one bucket width (growth factor ~1.149).
+        assert batcher.latency.count == 1
+        p50 = batcher.latency.quantile(0.5)
+        assert 0.010 / 1.149 <= p50 <= 0.010 * 1.149
+
+    def test_live_recorder_histogram_is_aliased(self, clock):
+        recorder = InMemoryRecorder()
+        batcher = self._batcher(clock, recorder=recorder)
+        batcher.submit([1.0])
+        clock.advance(0.010)
+        batcher.run_once()
+        # With a live recorder the batcher's histograms ARE the
+        # recorder's: one record per sample feeds stats() and snapshots.
+        assert batcher.latency is recorder.get_histogram(HIST_SERVE_LATENCY)
+        snap = recorder.snapshot()["histograms"]
+        assert snap[HIST_SERVE_LATENCY]["count"] == 1
+        assert snap[HIST_SERVE_QUEUE_WAIT]["count"] == 1
 
 
 class TestServeRequest:

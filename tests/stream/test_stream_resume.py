@@ -184,6 +184,30 @@ class TestKillResumeEquality:
                 continue
             assert a[name] == b[name], f"series {name} diverged"
 
+    def test_histograms_carry_across_resume(self, tmp_path):
+        """The per-batch timing histogram rides the checkpoint: a resumed
+        session's count covers the whole stream, pre-kill batches
+        included, not just the batches it ran itself."""
+        from repro.obs.counters import HIST_STREAM_BATCH_SECONDS
+
+        rec_killed = InMemoryRecorder()
+        killed = build(tmp_path=tmp_path, recorder=rec_killed)
+        killed.run(KILL_AT, resume=False)
+        killed_snap = rec_killed.snapshot()["histograms"]
+        assert killed_snap[HIST_STREAM_BATCH_SECONDS]["count"] == KILL_AT
+
+        rec_resumed = InMemoryRecorder()
+        resumed = build(tmp_path=tmp_path, recorder=rec_resumed)
+        resumed.run(TOTAL, resume=True)
+        resumed_snap = rec_resumed.snapshot()["histograms"]
+        # Resume restarts from the last checkpoint (a multiple of the
+        # checkpoint cadence at or before the kill), so the carried
+        # histogram covers checkpointed batches plus the replayed tail.
+        assert resumed_snap[HIST_STREAM_BATCH_SECONDS]["count"] == TOTAL
+        # wall-clock samples are machine noise, but the carried portion
+        # must be real timings, not zeros
+        assert resumed_snap[HIST_STREAM_BATCH_SECONDS]["sum"] > 0.0
+
     def test_resume_false_restarts_from_scratch(self, tmp_path):
         first = build(tmp_path=tmp_path)
         first.run(20, resume=False)
